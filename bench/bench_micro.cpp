@@ -1,0 +1,156 @@
+// Component micro-benchmarks (google-benchmark): simulator throughput,
+// Fig. 4 encoding, embedding forward pass, contrastive training step,
+// k-NN query, random-forest prediction and FL padding.
+#include <benchmark/benchmark.h>
+
+#include "baselines/features.hpp"
+#include "baselines/random_forest.hpp"
+#include "core/adaptive.hpp"
+#include "data/pairs.hpp"
+#include "eval/scenario.hpp"
+#include "trace/defense.hpp"
+
+namespace {
+
+using namespace wf;
+
+const netsim::Website& wiki_site() {
+  static const netsim::Website site = [] {
+    netsim::WikiSiteConfig c;
+    c.n_pages = 32;
+    c.seed = 7;
+    return netsim::make_wiki_site(c);
+  }();
+  return site;
+}
+
+const netsim::ServerFarm& wiki_farm() {
+  static const netsim::ServerFarm farm = netsim::ServerFarm::for_wiki();
+  return farm;
+}
+
+const data::Dataset& micro_dataset() {
+  static const data::Dataset dataset = [] {
+    data::DatasetBuildOptions opt;
+    opt.samples_per_class = 12;
+    opt.seed = 99;
+    return data::build_dataset(wiki_site(), wiki_farm(), {}, opt);
+  }();
+  return dataset;
+}
+
+core::EmbeddingModel& micro_model() {
+  static core::EmbeddingModel model = [] {
+    core::EmbeddingConfig c;
+    c.train_iterations = 60;  // just enough to initialize sensible weights
+    core::EmbeddingModel m(c);
+    data::PairGenerator pairs(micro_dataset(), data::PairStrategy::kRandom, 3);
+    m.train(pairs);
+    return m;
+  }();
+  return model;
+}
+
+void BM_LoadPage(benchmark::State& state) {
+  util::Rng rng(1);
+  const netsim::BrowserConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netsim::load_page(wiki_site(), wiki_farm(), 3, cfg, rng));
+  }
+}
+BENCHMARK(BM_LoadPage);
+
+void BM_EncodeCapture(benchmark::State& state) {
+  util::Rng rng(2);
+  const netsim::BrowserConfig cfg;
+  const netsim::PacketCapture capture = netsim::load_page(wiki_site(), wiki_farm(), 3, cfg, rng);
+  const trace::SequenceOptions opt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::encode_capture(capture, opt));
+  }
+}
+BENCHMARK(BM_EncodeCapture);
+
+void BM_KfpFeatures(benchmark::State& state) {
+  util::Rng rng(3);
+  const netsim::BrowserConfig cfg;
+  const netsim::PacketCapture capture = netsim::load_page(wiki_site(), wiki_farm(), 3, cfg, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::extract_kfp_features(capture));
+  }
+}
+BENCHMARK(BM_KfpFeatures);
+
+void BM_EmbedBatch(benchmark::State& state) {
+  core::EmbeddingModel& model = micro_model();
+  const nn::Matrix batch = micro_dataset().to_matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.embed(batch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.rows()));
+}
+BENCHMARK(BM_EmbedBatch);
+
+void BM_ContrastiveTrainStep(benchmark::State& state) {
+  core::EmbeddingConfig c;
+  c.train_iterations = 1;
+  core::EmbeddingModel model(c);
+  data::PairGenerator pairs(micro_dataset(), data::PairStrategy::kRandom, 5);
+  for (auto _ : state) {
+    model.train(pairs);  // exactly one optimizer step per call
+  }
+}
+BENCHMARK(BM_ContrastiveTrainStep);
+
+void BM_KnnQuery(benchmark::State& state) {
+  core::EmbeddingModel& model = micro_model();
+  core::ReferenceSet refs(model.config().embedding_dim);
+  refs.add_all(model.embed_dataset(micro_dataset()), micro_dataset().labels_of());
+  const core::KnnClassifier knn(50);
+  const nn::Matrix q = model.embed_dataset(micro_dataset());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.rank(refs, q.row_span(i % q.rows())));
+    ++i;
+  }
+}
+BENCHMARK(BM_KnnQuery);
+
+void BM_ForestPredict(benchmark::State& state) {
+  static const auto fixture = [] {
+    data::DatasetBuildOptions opt;
+    opt.samples_per_class = 12;
+    opt.seed = 99;
+    const data::CaptureCorpus corpus = data::collect_captures(wiki_site(), wiki_farm(), {}, opt);
+    auto dataset = std::make_shared<data::Dataset>(baselines::kfp_feature_dim());
+    for (std::size_t i = 0; i < corpus.captures.size(); ++i)
+      dataset->add({baselines::extract_kfp_features(corpus.captures[i]), corpus.labels[i]});
+    auto forest = std::make_shared<baselines::RandomForest>(baselines::ForestConfig{});
+    forest->fit(*dataset);
+    return std::make_pair(forest, dataset);
+  }();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.first->rank((*fixture.second)[i % fixture.second->size()].features));
+    ++i;
+  }
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_FixedLengthPadding(benchmark::State& state) {
+  util::Rng rng(6);
+  const netsim::BrowserConfig cfg;
+  std::vector<netsim::PacketCapture> corpus;
+  for (int i = 0; i < 8; ++i)
+    corpus.push_back(netsim::load_page(wiki_site(), wiki_farm(), i, cfg, rng));
+  const trace::FixedLengthDefense defense = trace::FixedLengthDefense::fit(corpus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(defense.apply(corpus[0], rng));
+  }
+}
+BENCHMARK(BM_FixedLengthPadding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

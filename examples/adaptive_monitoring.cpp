@@ -1,0 +1,93 @@
+// Adaptation in action (§IV-C): a long-running surveillance deployment
+// watches a website whose pages keep changing. Without adaptation the
+// classifier decays; with the reference-swap adaptation (no retraining)
+// it recovers — the paper's operational-cost headline.
+//
+// The monitored site drifts in 4 "epochs" of growing content churn.
+// At each epoch we report accuracy (a) frozen, (b) adapted via
+// probe-and-swap with the accuracy threshold of §IV-C.
+//
+// Build & run:  build/examples/adaptive_monitoring
+#include <iostream>
+
+#include "core/adaptive.hpp"
+#include "data/splits.hpp"
+#include "netsim/browser.hpp"
+
+using namespace wf;
+
+namespace {
+
+data::Dataset crawl(const netsim::Website& site, const netsim::ServerFarm& farm,
+                    int samples_per_class, std::uint64_t seed) {
+  data::DatasetBuildOptions opt;
+  opt.samples_per_class = samples_per_class;
+  opt.seed = seed;
+  return data::build_dataset(site, farm, {}, opt);
+}
+
+}  // namespace
+
+int main() {
+  netsim::WikiSiteConfig site_config;
+  site_config.n_pages = 24;
+  site_config.seed = 11;
+  netsim::Website site = netsim::make_wiki_site(site_config);
+  const netsim::ServerFarm farm = netsim::ServerFarm::for_wiki();
+
+  std::cout << "provisioning on the initial site contents...\n";
+  const data::Dataset initial = crawl(site, farm, 25, 1000);
+  const data::SampleSplit split = data::split_samples(initial, 20, 5);
+
+  core::EmbeddingConfig config;
+  config.train_iterations = 500;
+  core::AdaptiveFingerprinter frozen(config, 40);
+  frozen.provision(split.first);
+  frozen.initialize(split.first);
+
+  // The adaptive deployment shares the SAME trained model (no retraining
+  // ever happens); only its reference set will be refreshed.
+  core::AdaptiveFingerprinter adaptive(config, 40);
+  adaptive.provision(split.first);  // deterministic: same seed, same model
+  adaptive.initialize(split.first);
+
+  util::Table table({"Epoch", "Content churn", "Frozen top-1", "Adapted top-1",
+                     "Pages refreshed"});
+  constexpr double kProbeThreshold = 0.5;  // §IV-C accuracy threshold
+
+  double cumulative_drift[] = {0.0, 0.25, 0.5, 0.8};
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    if (epoch > 0) netsim::apply_content_drift(site, cumulative_drift[epoch], 900 + epoch);
+
+    // Fresh traffic from the drifted site: what the victim generates now.
+    const data::Dataset live = crawl(site, farm, 8, 2000 + epoch);
+
+    // Frozen deployment: classify as-is.
+    const double frozen_top1 = frozen.evaluate(live, 1).curve.top(1);
+
+    // Adaptive deployment: probe each page with a couple of fresh loads;
+    // refresh the reference samples of pages that fell below threshold.
+    int refreshed = 0;
+    for (const int page : live.classes()) {
+      const data::Dataset probe = live.filter([page](int l) { return l == page; });
+      if (adaptive.probe_class_accuracy(page, probe) < kProbeThreshold) {
+        const data::Dataset fresh = crawl(site, farm, 20, 3000 + epoch * 100 + page)
+                                        .filter([page](int l) { return l == page; });
+        adaptive.adapt_class(page, fresh);  // embed + swap, no retraining
+        ++refreshed;
+      }
+    }
+    const double adapted_top1 = adaptive.evaluate(live, 1).curve.top(1);
+
+    table.add_row({std::to_string(epoch),
+                   util::Table::pct(cumulative_drift[epoch], 0),
+                   util::Table::pct(frozen_top1), util::Table::pct(adapted_top1),
+                   std::to_string(refreshed)});
+  }
+
+  std::cout << "\n";
+  table.print("Distributional shift: frozen vs adaptive deployment");
+  std::cout << "\nNote: the adaptive deployment never retrains its embedding model —\n"
+               "adaptation is embedding + reference swap only (§IV-C).\n";
+  return 0;
+}
