@@ -3,6 +3,8 @@
 // k-NN query, random-forest prediction and FL padding.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "baselines/features.hpp"
 #include "baselines/random_forest.hpp"
 #include "core/adaptive.hpp"
@@ -95,9 +97,13 @@ BENCHMARK(BM_EmbedBatch);
 void BM_ContrastiveTrainStep(benchmark::State& state) {
   core::EmbeddingConfig c;
   c.train_iterations = 1;
-  core::EmbeddingModel model(c);
   data::PairGenerator pairs(micro_dataset(), data::PairStrategy::kRandom, 5);
   for (auto _ : state) {
+    // Fresh model per iteration (outside the timed region) so every timed
+    // step runs from identical weights and optimizer state.
+    state.PauseTiming();
+    core::EmbeddingModel model(c);
+    state.ResumeTiming();
     model.train(pairs);  // exactly one optimizer step per call
   }
 }

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netsim/browser.hpp"
+
+namespace wf::baselines {
+
+// Width of the hand-crafted summary-feature vector.
+std::size_t kfp_feature_dim();
+
+// k-FP-style (Hayes & Danezis) summary statistics of a capture: counts,
+// volumes, size moments, timing, burst structure and per-server byte
+// distribution. The feature baseline the paper compares against.
+std::vector<float> extract_kfp_features(const netsim::PacketCapture& capture);
+
+}  // namespace wf::baselines

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/knn.hpp"
+#include "util/rng.hpp"
+
+namespace wf::baselines {
+
+// User-journey decoder (§V-A, Miller et al. style): a hidden Markov model
+// whose states are pages and whose transitions follow the site's link
+// graph. The per-page classifier's ranked outputs are the emissions; the
+// Viterbi path decodes the whole browsing session jointly.
+class JourneyHmm {
+ public:
+  explicit JourneyHmm(const std::vector<std::vector<int>>& links, double self_loop = 0.05,
+                      double teleport = 0.02);
+
+  // Simulate a victim journey: `length` page ids starting at `start`,
+  // walking uniformly over out-links.
+  std::vector<int> random_walk(int start, std::size_t length, util::Rng& rng) const;
+
+  // Jointly decode a journey from per-step classifier rankings.
+  std::vector<int> viterbi(const std::vector<std::vector<core::RankedLabel>>& emissions) const;
+
+  std::size_t n_states() const { return links_.size(); }
+
+ private:
+  double transition_log(int from, int to) const;
+
+  std::vector<std::vector<int>> links_;
+  double self_loop_;
+  double teleport_;
+};
+
+}  // namespace wf::baselines

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/knn.hpp"
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace wf::baselines {
+
+struct ForestConfig {
+  int n_trees = 60;
+  int max_depth = 12;
+  int min_samples_leaf = 2;
+  int n_feature_candidates = 0;  // 0 => sqrt(feature_dim)
+  std::uint64_t seed = 7;
+};
+
+// Plain bootstrap-aggregated CART forest over summary features: the
+// train-heavy baseline of Table III (every target-set change forces a
+// refit, unlike the embedding system's reference swap).
+class RandomForest {
+ public:
+  explicit RandomForest(const ForestConfig& config) : config_(config) {}
+
+  void fit(const data::Dataset& dataset);
+
+  // Classes ranked by tree votes (best first).
+  std::vector<core::RankedLabel> rank(std::span<const float> features) const;
+  int predict(std::span<const float> features) const;
+
+  std::size_t n_trees() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 => leaf
+    float threshold = 0.0f;
+    int left = -1, right = -1;
+    int label = -1;         // leaf majority class
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  int grow(Tree& tree, const data::Dataset& dataset, std::vector<std::size_t>& indices,
+           std::size_t begin, std::size_t end, int depth, util::Rng& rng);
+
+  ForestConfig config_;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace wf::baselines

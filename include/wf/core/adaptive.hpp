@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/embedding.hpp"
+#include "core/knn.hpp"
+#include "core/reference_set.hpp"
+#include "data/splits.hpp"
+#include "trace/sequence.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace wf::core {
+
+// Cumulative top-n accuracy curve.
+class TopNCurve {
+ public:
+  TopNCurve() = default;
+  explicit TopNCurve(std::vector<double> cumulative) : cumulative_(std::move(cumulative)) {}
+
+  // Fraction of samples whose true label ranked within the first n guesses.
+  double top(std::size_t n) const {
+    if (cumulative_.empty() || n == 0) return 0.0;
+    return cumulative_[std::min(n, cumulative_.size()) - 1];
+  }
+
+  std::size_t max_n() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+struct EvaluationResult {
+  TopNCurve curve;
+  std::size_t n_samples = 0;
+  double seconds = 0.0;
+};
+
+// The paper's adversary in one object (§IV):
+//   provision   — train the embedding model on labeled pairs (once, costly)
+//   initialize  — embed the labeled crawl into the reference set
+//   fingerprint — rank candidate pages for one observed trace
+//   adapt       — probe-and-swap reference refresh, *never* retraining
+class AdaptiveFingerprinter {
+ public:
+  AdaptiveFingerprinter(const EmbeddingConfig& config, int knn_k);
+
+  TrainStats provision(const data::Dataset& train,
+                       data::PairStrategy strategy = data::PairStrategy::kRandom);
+
+  void initialize(const data::Dataset& references);
+
+  std::vector<RankedLabel> fingerprint(std::span<const float> features) const;
+
+  EvaluationResult evaluate(const data::Dataset& test, std::size_t max_n) const;
+
+  // Fraction of probe loads of `label` classified correctly at top-1 —
+  // the §IV-C health check deciding whether to refresh a class.
+  double probe_class_accuracy(int label, const data::Dataset& probe) const;
+
+  // Replace the reference embeddings of `label` with fresh loads
+  // (embedding + swap only; the trained model is untouched).
+  void adapt_class(int label, const data::Dataset& fresh);
+
+  const ReferenceSet& references() const { return references_; }
+  const EmbeddingModel& model() const { return model_; }
+  const KnnClassifier& classifier() const { return knn_; }
+
+ private:
+  EmbeddingModel model_;
+  ReferenceSet references_;
+  KnnClassifier knn_;
+};
+
+}  // namespace wf::core

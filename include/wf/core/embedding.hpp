@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/embedding_config.hpp"
+#include "data/dataset.hpp"
+#include "data/pairs.hpp"
+#include "nn/mlp.hpp"
+
+namespace wf::core {
+
+struct TrainStats {
+  double final_loss = 0.0;     // mean loss over the last training window
+  double pair_accuracy = 0.0;  // margin-threshold pair classification
+  double seconds = 0.0;
+  int iterations = 0;
+};
+
+// The siamese embedding network (§IV-A2): maps an encoded trace to a point
+// on the unit sphere in R^embedding_dim such that loads of the same page
+// land close together. Classification and adaptation then operate purely in
+// embedding space — the model itself never needs retraining.
+class EmbeddingModel {
+ public:
+  explicit EmbeddingModel(const EmbeddingConfig& config = {});
+
+  // Run `config.train_iterations` optimizer steps drawing batches from the
+  // generator. Calling train() again continues from the current weights.
+  TrainStats train(data::PairGenerator& pairs);
+
+  // L2-normalized embedding of one encoded trace.
+  std::vector<float> embed(std::span<const float> features) const;
+  nn::Matrix embed(const nn::Matrix& batch) const;
+  nn::Matrix embed_dataset(const data::Dataset& dataset) const;
+
+  const EmbeddingConfig& config() const { return config_; }
+
+ private:
+  void train_contrastive_pair(std::span<const float> xa, std::span<const float> xb,
+                              bool positive, double& loss_acc, double& correct_acc);
+  void train_triplet(std::span<const float> xa, std::span<const float> xp,
+                     std::span<const float> xn, double& loss_acc, double& correct_acc);
+
+  EmbeddingConfig config_;
+  nn::Mlp net_;
+};
+
+}  // namespace wf::core

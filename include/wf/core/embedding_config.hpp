@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace wf::core {
+
+// Training objective: the paper's contrastive loss (eq. 1) or the triplet
+// loss of Triplet Fingerprinting (Table III comparison system).
+enum class Objective { kContrastive, kTriplet };
+
+// Table-I-style hyperparameters of the embedding network, scaled down to
+// the simulated workload (the paper trains on 64 x 3 sequence inputs too,
+// but for far more iterations on GPU).
+struct EmbeddingConfig {
+  int n_sequences = 3;
+  int timesteps = 64;
+  std::size_t embedding_dim = 32;
+  std::vector<std::size_t> hidden = {128, 64};
+  int train_iterations = 2000;   // optimizer steps
+  int batch_pairs = 32;          // pairs (or triplets) per step
+  double learning_rate = 1e-3;
+  double margin = 1.0;           // contrastive/triplet margin
+  Objective objective = Objective::kContrastive;
+  std::uint64_t seed = 1234;     // weight init + batch sampling
+
+  std::size_t input_dim() const {
+    return static_cast<std::size_t>(n_sequences) * static_cast<std::size_t>(timesteps);
+  }
+};
+
+// Render the configuration as the paper's Table I.
+util::Table hyperparameter_table(const EmbeddingConfig& config);
+
+}  // namespace wf::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/reference_set.hpp"
+
+namespace wf::core {
+
+// One entry of a classifier's ranked output: classes sorted best-first.
+struct RankedLabel {
+  int label = -1;
+  int votes = 0;        // neighbours (or trees) voting for this class
+  double distance = 0;  // tie-break: closest reference of this class
+};
+
+// k-nearest-neighbour voting in embedding space. Produces a *total* ranking
+// over every class in the reference set (voted classes first, the rest
+// ordered by nearest-reference distance) so top-n curves and per-class
+// guess counts are well defined for any n.
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(int k) : k_(k) {}
+
+  int k() const { return k_; }
+
+  std::vector<RankedLabel> rank(const ReferenceSet& references,
+                                std::span<const float> query) const;
+
+ private:
+  int k_;
+};
+
+}  // namespace wf::core

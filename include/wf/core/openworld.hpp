@@ -1,0 +1,45 @@
+#pragma once
+
+#include <span>
+
+#include "core/reference_set.hpp"
+#include "nn/matrix.hpp"
+
+namespace wf::core {
+
+struct OpenWorldConfig {
+  int neighbour = 3;        // which nearest-reference distance to threshold
+  double target_tpr = 0.95; // calibration: accept this fraction of monitored
+};
+
+struct OpenWorldMetrics {
+  double true_positive_rate = 0.0;
+  double false_positive_rate = 0.0;
+  double precision = 1.0;
+  double threshold = 0.0;
+};
+
+// Monitored-set membership test (§VI-C): a trace is "in world" when its
+// distance to the `neighbour`-th nearest reference embedding is below a
+// threshold calibrated for the target TPR on monitored samples.
+class OpenWorldDetector {
+ public:
+  explicit OpenWorldDetector(const OpenWorldConfig& config) : config_(config) {}
+
+  void calibrate(const ReferenceSet& references, const nn::Matrix& monitored_samples);
+
+  bool is_monitored(const ReferenceSet& references, std::span<const float> embedding) const;
+
+  OpenWorldMetrics evaluate(const ReferenceSet& references, const nn::Matrix& monitored,
+                            const nn::Matrix& unmonitored) const;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  double kth_distance(const ReferenceSet& references, std::span<const float> embedding) const;
+
+  OpenWorldConfig config_;
+  double threshold_ = 1e300;
+};
+
+}  // namespace wf::core

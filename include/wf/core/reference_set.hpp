@@ -1,0 +1,70 @@
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace wf::core {
+
+// Labeled embeddings the k-NN classifier votes over. Adaptation (§IV-C) is
+// a pure data operation here: swap a class's rows, never touch the model.
+class ReferenceSet {
+ public:
+  ReferenceSet() = default;
+  explicit ReferenceSet(std::size_t dim) : dim_(dim) {}
+
+  void add(std::span<const float> embedding, int label) {
+    if (embedding.size() != dim_)
+      throw std::invalid_argument("ReferenceSet::add: embedding width mismatch");
+    data_.insert(data_.end(), embedding.begin(), embedding.end());
+    labels_.push_back(label);
+  }
+
+  void add_all(const nn::Matrix& embeddings, const std::vector<int>& labels) {
+    if (embeddings.rows() != labels.size())
+      throw std::invalid_argument("ReferenceSet::add_all: rows != labels");
+    for (std::size_t i = 0; i < embeddings.rows(); ++i) add(embeddings.row_span(i), labels[i]);
+  }
+
+  // Drop every reference of `label` (the "swap" half of probe-and-swap).
+  void remove_class(int label) {
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < labels_.size(); ++read) {
+      if (labels_[read] == label) continue;
+      if (write != read) {
+        std::copy(data_.begin() + static_cast<std::ptrdiff_t>(read * dim_),
+                  data_.begin() + static_cast<std::ptrdiff_t>((read + 1) * dim_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(write * dim_));
+        labels_[write] = labels_[read];
+      }
+      ++write;
+    }
+    labels_.resize(write);
+    data_.resize(write * dim_);
+  }
+
+  std::size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  std::size_t dim() const { return dim_; }
+
+  std::span<const float> embedding(std::size_t i) const { return {data_.data() + i * dim_, dim_}; }
+  int label(std::size_t i) const { return labels_[i]; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  std::vector<int> classes() const {
+    std::vector<int> out = labels_;
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<float> data_;  // row-major, size() x dim_
+  std::vector<int> labels_;
+};
+
+}  // namespace wf::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "netsim/browser.hpp"
+#include "trace/defense.hpp"
+#include "trace/sequence.hpp"
+
+namespace wf::data {
+
+// Raw crawl output: captures with their page labels, before encoding —
+// needed whenever a defense is applied at the trace level.
+struct CaptureCorpus {
+  std::vector<netsim::PacketCapture> captures;
+  std::vector<int> labels;
+
+  std::size_t size() const { return captures.size(); }
+};
+
+struct DatasetBuildOptions {
+  int samples_per_class = 20;
+  std::uint64_t seed = 1;
+  trace::SequenceOptions sequence;
+  netsim::BrowserConfig browser;
+};
+
+// Crawl `samples_per_class` loads of each requested page ({} = every page).
+CaptureCorpus collect_captures(const netsim::Website& site, const netsim::ServerFarm& farm,
+                               const std::vector<int>& pages,
+                               const DatasetBuildOptions& options);
+
+// Encode a corpus into features, optionally applying a fixed-length defense
+// (seeded independently) to every capture first.
+Dataset encode_corpus(const CaptureCorpus& corpus, const trace::SequenceOptions& sequence,
+                      const trace::FixedLengthDefense* defense = nullptr,
+                      std::uint64_t defense_seed = 0);
+
+// collect + encode in one step: the common undefended path.
+Dataset build_dataset(const netsim::Website& site, const netsim::ServerFarm& farm,
+                      const std::vector<int>& pages, const DatasetBuildOptions& options);
+
+}  // namespace wf::data

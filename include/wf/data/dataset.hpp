@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace wf::data {
+
+// One labeled trace: the encoded feature vector plus its page id.
+struct Sample {
+  std::vector<float> features;
+  int label = 0;
+};
+
+// A labeled feature corpus with a fixed feature width.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t feature_dim) : feature_dim_(feature_dim) {}
+
+  void add(Sample sample) {
+    if (feature_dim_ == 0) feature_dim_ = sample.features.size();
+    if (sample.features.size() != feature_dim_)
+      throw std::invalid_argument("Dataset::add: feature width mismatch");
+    samples_.push_back(std::move(sample));
+  }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  std::size_t feature_dim() const { return feature_dim_; }
+  const Sample& operator[](std::size_t i) const { return samples_[i]; }
+
+  // Sorted unique labels present in the dataset.
+  std::vector<int> classes() const {
+    std::set<int> unique;
+    for (const Sample& s : samples_) unique.insert(s.label);
+    return {unique.begin(), unique.end()};
+  }
+
+  std::size_t n_classes() const { return classes().size(); }
+
+  std::vector<int> labels_of() const {
+    std::vector<int> labels;
+    labels.reserve(samples_.size());
+    for (const Sample& s : samples_) labels.push_back(s.label);
+    return labels;
+  }
+
+  // Keep the samples whose label satisfies the predicate.
+  template <typename Pred>
+  Dataset filter(Pred&& keep_label) const {
+    Dataset out(feature_dim_);
+    for (const Sample& s : samples_)
+      if (keep_label(s.label)) out.add(s);
+    return out;
+  }
+
+  nn::Matrix to_matrix() const {
+    nn::Matrix m(samples_.size(), feature_dim_);
+    for (std::size_t i = 0; i < samples_.size(); ++i) m.set_row(i, samples_[i].features);
+    return m;
+  }
+
+ private:
+  std::size_t feature_dim_ = 0;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace wf::data

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace wf::data {
+
+// Pair-sampling strategy for the contrastive objective (§IV-A2):
+//   kRandom       — negatives drawn uniformly from other classes
+//   kHardNegative — negatives biased towards the classes closest to the
+//                   anchor's class in input space (hard negatives)
+enum class PairStrategy { kRandom, kHardNegative };
+
+struct SamplePair {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  bool positive = false;
+};
+
+struct SampleTriplet {
+  std::size_t anchor = 0;
+  std::size_t positive = 0;
+  std::size_t negative = 0;
+};
+
+// Streams training pairs/triplets from a dataset. Deterministic in `seed`.
+class PairGenerator {
+ public:
+  PairGenerator(const Dataset& dataset, PairStrategy strategy, std::uint64_t seed);
+
+  SamplePair next();                       // alternates positive / negative
+  std::vector<SamplePair> batch(std::size_t n);
+  SampleTriplet next_triplet();
+
+  const Dataset& dataset() const { return *dataset_; }
+  PairStrategy strategy() const { return strategy_; }
+
+ private:
+  std::size_t sample_of_class(std::size_t class_pos);
+  std::size_t negative_class_for(std::size_t class_pos);
+
+  const Dataset* dataset_;
+  PairStrategy strategy_;
+  util::Rng rng_;
+  bool next_positive_ = true;
+  std::vector<int> classes_;
+  std::vector<std::vector<std::size_t>> by_class_;       // indices per class position
+  std::vector<std::vector<std::size_t>> hard_neighbours_;  // per class: nearest classes
+};
+
+}  // namespace wf::data

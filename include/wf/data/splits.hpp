@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+#include "data/build.hpp"
+#include "data/dataset.hpp"
+
+namespace wf::data {
+
+// Deterministic per-class split: `first` holds up to n_first samples of each
+// class (reference/training pool), `second` the rest (held-out test pool).
+// The two sides are always disjoint.
+struct SampleSplit {
+  Dataset first;
+  Dataset second;
+};
+
+SampleSplit split_samples(const Dataset& dataset, int n_first_per_class, std::uint64_t seed);
+
+}  // namespace wf::data

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "eval/scenario.hpp"
+
+namespace wf::eval {
+
+struct CostResult {
+  util::Table literature;  // Table III as published
+  util::Table measured;    // the same operations timed on this reproduction
+};
+
+// Table III (§VIII): operational costs of fingerprinting systems. The
+// embedding system adapts by reference swap (no retraining); feature/forest
+// systems refit; CNN classifiers retrain end to end. Writes
+// results/table3_literature.csv and results/table3_measured.csv.
+CostResult run_cost_experiment(WikiScenario& scenario);
+
+}  // namespace wf::eval

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "eval/scenario.hpp"
+
+namespace wf::eval {
+
+struct Exp4Result {
+  util::Table known;    // Fig. 9:  CDF of mean guesses, classes seen in training
+  util::Table unknown;  // Fig. 10: CDF of mean guesses, unseen classes
+  util::Table padded;   // Fig. 11: CDF of mean guesses under FL padding
+};
+
+// Experiment 4 (Figs. 9-11): per-class distinguishability as the CDF of the
+// mean number of guesses needed per class. Writes results/exp4_*.csv.
+Exp4Result run_exp4_distinguish(WikiScenario& scenario);
+
+}  // namespace wf::eval

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "eval/scenario.hpp"
+
+namespace wf::eval {
+
+// Figs. 12/13 (§VII): fixed-length padding against the adaptive adversary,
+// on classes seen and not seen during training. Writes
+// results/padding_fl.csv.
+util::Table run_padding_experiment(WikiScenario& scenario);
+
+// §VII discussion ablation: TLS 1.3 record-padding policies and
+// trace-level defenses, attacker accuracy vs bandwidth overhead. Writes
+// results/defense_ablation.csv.
+util::Table run_defense_ablation(WikiScenario& scenario);
+
+}  // namespace wf::eval

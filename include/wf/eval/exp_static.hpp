@@ -1,0 +1,12 @@
+#pragma once
+
+#include "eval/scenario.hpp"
+
+namespace wf::eval {
+
+// Experiment 1 (Fig. 6): closed-world top-n accuracy for growing class
+// counts over TLS 1.2, plus the TLS 1.3 version-shift series. Writes
+// results/exp1_static.csv.
+util::Table run_exp1_static(WikiScenario& scenario);
+
+}  // namespace wf::eval

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "eval/scenario.hpp"
+
+namespace wf::eval {
+
+struct Exp2Result {
+  util::Table accuracy;  // Fig. 7: top-n on classes never seen in training
+  util::Table table2;    // Table II: guesses needed for ~90% accuracy
+};
+
+// Experiment 2 (Fig. 7 / Table II): the trained embedding generalizes to
+// webpages that did not exist at training time — only the reference set is
+// built from them. Writes results/exp2_transfer.csv and exp2_table2.csv.
+Exp2Result run_exp2_transfer(WikiScenario& scenario);
+
+}  // namespace wf::eval

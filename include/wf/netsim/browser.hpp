@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/website.hpp"
+#include "util/rng.hpp"
+
+namespace wf::netsim {
+
+// TLS 1.3 record-padding policy (RFC 8446 §5.4 mechanism); ignored over
+// TLS 1.2, which has no standard padding.
+struct RecordPaddingPolicy {
+  enum class Kind { kNone, kRandom, kPadToMultiple, kFixedRecord };
+  Kind kind = Kind::kNone;
+  std::uint32_t param = 0;  // range / multiple / fixed record payload
+};
+
+enum class Direction : std::uint8_t { kOutgoing, kIncoming };
+
+// One TLS record as seen on the wire by a passive observer: timing, size,
+// direction and destination IP (the server index) are visible; contents are
+// not.
+struct Record {
+  double time_ms = 0.0;
+  Direction direction = Direction::kOutgoing;
+  std::uint32_t wire_bytes = 0;
+  int server = 0;
+};
+
+struct PacketCapture {
+  TlsVersion tls = TlsVersion::kTls12;
+  std::vector<Record> records;
+
+  std::size_t size() const { return records.size(); }
+  std::uint64_t total_bytes() const;
+  std::uint64_t bytes(Direction direction) const;
+};
+
+// Per-host network characteristics.
+struct Server {
+  double latency_ms = 20.0;
+  double jitter_ms = 4.0;
+  double mbps = 80.0;  // downstream throughput
+};
+
+struct ServerFarm {
+  std::vector<Server> servers;
+
+  static ServerFarm for_wiki();
+  static ServerFarm for_github();
+
+  const Server& server(int index) const {
+    return servers[static_cast<std::size_t>(index) % servers.size()];
+  }
+  std::size_t size() const { return servers.size(); }
+};
+
+struct BrowserConfig {
+  RecordPaddingPolicy record_padding;   // applied only over TLS 1.3
+  int parallel_connections = 2;         // concurrent fetches per server
+  double size_jitter = 0.04;            // relative payload noise per load
+  double extra_resource_prob = 0.2;     // transient extra fetch (ads, API)
+  double cache_hit_prob = 0.15;         // shared theme resource served from cache
+  std::uint32_t max_record_payload = 16384;
+};
+
+// Simulate one page load and return the observable TLS record trace:
+// handshakes per contacted server, then the request/response records of
+// every resource, interleaved across servers by their latency/throughput.
+PacketCapture load_page(const Website& site, const ServerFarm& farm, int page_id,
+                        const BrowserConfig& config, util::Rng& rng);
+
+}  // namespace wf::netsim

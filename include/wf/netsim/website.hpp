@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wf::netsim {
+
+enum class TlsVersion { kTls12, kTls13 };
+
+// One fetchable object (HTML, CSS, image, API response...).
+struct Resource {
+  int server = 0;            // index of the serving host (0 = main host)
+  std::uint32_t bytes = 0;   // application-payload size
+  bool dynamic = false;      // size re-rolled slightly on every load
+};
+
+struct Page {
+  int id = 0;
+  std::vector<Resource> resources;  // leading entries are the shared theme
+};
+
+// A simulated website: pages share a theme (same CSS/JS/fonts) but carry
+// per-page content, mirroring the Wikipedia/Github sites of the paper.
+struct Website {
+  std::string name;
+  TlsVersion tls = TlsVersion::kTls12;
+  int n_servers = 1;
+  // Per page, resources[0] is the HTML document and the next
+  // `theme_resources` entries are the shared immutable theme.
+  int theme_resources = 0;
+  std::vector<Page> pages;
+  // Out-links per page: the link graph a browsing journey walks (§V-A).
+  std::vector<std::vector<int>> links;
+};
+
+// Wikipedia-like site: fixed small server farm (main host + media + CDN),
+// article pages dominated by text plus a few images.
+struct WikiSiteConfig {
+  int n_pages = 20;
+  int links_per_page = 8;
+  std::uint64_t seed = 1;
+  TlsVersion tls = TlsVersion::kTls12;
+  int n_servers = 3;
+  int theme_resources = 5;
+  int min_content_resources = 3;
+  int max_content_resources = 10;
+};
+Website make_wiki_site(const WikiSiteConfig& config);
+
+// Github-like site: TLS 1.3, heavier shared theme, variable per-page server
+// count (avatars/raw/api hosts) — the transfer target of Experiment 3.
+struct GithubSiteConfig {
+  int n_pages = 20;
+  int links_per_page = 6;
+  std::uint64_t seed = 2;
+  TlsVersion tls = TlsVersion::kTls13;
+  int min_servers = 2;
+  int max_servers = 5;
+  int theme_resources = 8;
+  int min_content_resources = 2;
+  int max_content_resources = 14;
+};
+Website make_github_site(const GithubSiteConfig& config);
+
+// Re-roll a `fraction` of every page's content resources (sizes and counts),
+// keeping the shared theme: the distributional drift of §IV-C. Deterministic
+// in `seed`; cumulative when applied repeatedly.
+void apply_content_drift(Website& site, double fraction, std::uint64_t seed);
+
+}  // namespace wf::netsim

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace wf::nn {
+
+// Dense row-major float matrix: the interchange type between the dataset,
+// the embedding network and the reference set. Deliberately small — just
+// enough linear-algebra surface for the MLP and the k-NN search.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const float> row_span(std::size_t r) const {
+    if (r >= rows_) throw std::out_of_range("Matrix::row_span");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void set_row(std::size_t r, std::span<const float> values) {
+    if (values.size() != cols_) throw std::invalid_argument("Matrix::set_row: width mismatch");
+    float* dst = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) dst[c] = values[c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float value) { data_.assign(data_.size(), value); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// Squared Euclidean distance between two equally sized vectors.
+inline double squared_distance(std::span<const float> a, std::span<const float> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace wf::nn

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace wf::nn {
+
+// Fully connected network with ReLU hidden layers and a linear output,
+// trained by explicit backpropagation with an Adam optimizer. Sized for the
+// paper's Table-I embedding network (a few hundred inputs, 32-d output) —
+// no BLAS, no autograd, fully deterministic given the init seed.
+class Mlp {
+ public:
+  Mlp() = default;
+  // sizes = {input, hidden..., output}.
+  Mlp(const std::vector<std::size_t>& sizes, std::uint64_t seed);
+
+  std::size_t input_dim() const;
+  std::size_t output_dim() const;
+
+  // Plain inference.
+  std::vector<float> forward(std::span<const float> x) const;
+
+  // Per-sample activation cache for backprop: post[l] is the output of layer
+  // l after its activation (post.back() is the network output).
+  struct Activations {
+    std::vector<std::vector<float>> post;
+  };
+  std::vector<float> forward_cached(std::span<const float> x, Activations& acts) const;
+
+  // Accumulate parameter gradients for one sample given dLoss/dOutput.
+  void backward(std::span<const float> x, const Activations& acts,
+                std::span<const float> grad_output);
+
+  void zero_grad();
+  // Adam step on the averaged accumulated gradients, then clears them.
+  void adam_step(double learning_rate);
+
+  std::size_t parameter_count() const;
+
+ private:
+  struct Layer {
+    Matrix w;                 // out x in
+    std::vector<float> b;     // out
+    Matrix gw;                // accumulated gradients
+    std::vector<float> gb;
+    Matrix mw, vw;            // Adam moments
+    std::vector<float> mb, vb;
+  };
+
+  std::vector<Layer> layers_;
+  int adam_t_ = 0;
+  int grad_samples_ = 0;
+};
+
+}  // namespace wf::nn

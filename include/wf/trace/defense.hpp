@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "netsim/browser.hpp"
+#include "util/rng.hpp"
+
+namespace wf::trace {
+
+// Trace-level fixed-length padding (§VII): every record is inflated to the
+// corpus-wide maximum record size and every trace is extended with dummy
+// records until both directions reach the corpus-wide maximum count. After
+// padding, all traces have identical per-direction sizes and counts — only
+// ordering/interleaving information survives.
+class FixedLengthDefense {
+ public:
+  FixedLengthDefense() = default;
+
+  static FixedLengthDefense fit(const std::vector<netsim::PacketCapture>& corpus);
+
+  netsim::PacketCapture apply(const netsim::PacketCapture& capture, util::Rng& rng) const;
+
+  // Mean relative byte cost of applying the defense to this corpus.
+  double bandwidth_overhead(const std::vector<netsim::PacketCapture>& corpus) const;
+
+  std::uint32_t record_bytes() const { return record_bytes_; }
+  std::size_t incoming_records() const { return incoming_records_; }
+  std::size_t outgoing_records() const { return outgoing_records_; }
+
+ private:
+  std::uint32_t record_bytes_ = 0;      // every record padded to this
+  std::size_t incoming_records_ = 0;    // per-trace record-count targets
+  std::size_t outgoing_records_ = 0;
+};
+
+// Per-website anonymity sets (§VII proposal): classes are grouped into sets
+// of `set_size` pages with similar volume, and fixed-length padding is
+// applied within each set only. Buys protection proportional to the set
+// size at a fraction of site-wide FL cost.
+class AnonymitySetDefense {
+ public:
+  AnonymitySetDefense() = default;
+
+  static AnonymitySetDefense fit(const std::vector<netsim::PacketCapture>& captures,
+                                 const std::vector<int>& labels, int set_size);
+
+  netsim::PacketCapture apply(const netsim::PacketCapture& capture, int label,
+                              util::Rng& rng) const;
+
+  double bandwidth_overhead(const std::vector<netsim::PacketCapture>& captures,
+                            const std::vector<int>& labels) const;
+
+  int set_of(int label) const;
+  std::size_t n_sets() const { return defenses_.size(); }
+
+ private:
+  std::map<int, int> set_of_;               // label -> set index
+  std::vector<FixedLengthDefense> defenses_;  // one per set
+};
+
+}  // namespace wf::trace

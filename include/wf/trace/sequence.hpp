@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/browser.hpp"
+
+namespace wf::trace {
+
+// Fig.-4-style trace encoding: a capture becomes `n_sequences` fixed-length
+// sequences of quantized record sizes.
+//
+//   2 sequences: outgoing | incoming                       (directional)
+//   3 sequences: outgoing | incoming from the main host |
+//                incoming from every other host            (per-IP; the
+//                paper's key representational choice — TLS exposes IPs)
+struct SequenceOptions {
+  int n_sequences = 3;
+  int timesteps = 64;          // first N records routed to each sequence
+  std::uint32_t quantum = 512; // byte-count quantization (§IV-A1)
+
+  std::size_t feature_dim() const {
+    return static_cast<std::size_t>(n_sequences) * static_cast<std::size_t>(timesteps);
+  }
+};
+
+// Encode a capture into a flat feature vector of length feature_dim().
+// Record sizes are quantized to `quantum` bytes and log-compressed to keep
+// features in a stable [0, 1] range.
+std::vector<float> encode_capture(const netsim::PacketCapture& capture,
+                                  const SequenceOptions& options);
+
+}  // namespace wf::trace

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wf::util {
+
+// One-line logger: `log_info() << "x = " << x;` flushes a single prefixed
+// line when the temporary is destroyed at the end of the statement.
+class LogLine {
+ public:
+  explicit LogLine(const char* level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  LogLine(LogLine&& other) noexcept : level_(other.level_), stream_(std::move(other.stream_)) {
+    other.moved_from_ = true;
+  }
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* level_;
+  std::ostringstream stream_;
+  bool moved_from_ = false;
+};
+
+LogLine log_info();
+LogLine log_warn();
+
+}  // namespace wf::util

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace wf::util {
+
+// Deterministic, platform-independent PRNG (splitmix64). All randomness in
+// the library flows through explicitly seeded Rng instances so that every
+// simulation, crawl and training run is exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform index in [0, n). n == 0 returns 0.
+  std::size_t index(std::size_t n) {
+    if (n == 0) return 0;
+    return static_cast<std::size_t>(next() % n);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<std::int64_t>(next() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    if (has_cached_) {
+      has_cached_ = false;
+      return mean + stddev * cached_;
+    }
+    // Box-Muller.
+    double u1 = uniform();
+    while (u1 <= 1e-12) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return mean + stddev * r * std::cos(theta);
+  }
+
+  // Derive an independent deterministic stream (e.g. one per page crawl).
+  Rng fork(std::uint64_t stream) {
+    Rng child(state_ ^ (0xd1342543de82ef95ull * (stream + 1)));
+    child.next();
+    return child;
+  }
+
+ private:
+  std::uint64_t state_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace wf::util

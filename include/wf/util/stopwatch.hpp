@@ -1,0 +1,26 @@
+#pragma once
+
+#include <chrono>
+
+namespace wf::util {
+
+// Wall-clock stopwatch used for the operational-cost measurements (Table III)
+// and the train-time columns of the ablation harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wf::util

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wf::util {
+
+// Minimal aligned-column result table: every experiment binary prints one or
+// more of these and can mirror them to CSV under results/.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> row);
+
+  // Pretty-print to stdout, optionally preceded by a title line.
+  void print(const std::string& title = "") const;
+
+  void write_csv(const std::string& path) const;
+
+  std::size_t n_rows() const { return rows_.size(); }
+  std::size_t n_columns() const { return columns_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  // "0.6123" -> "61.2%"
+  static std::string pct(double fraction, int decimals = 1);
+  // Fixed-point formatting.
+  static std::string num(double value, int decimals = 2);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wf::util

@@ -1,0 +1,128 @@
+#include "baselines/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wf::baselines {
+
+namespace {
+
+constexpr std::size_t kDim = 28;
+
+float flog(double v) { return static_cast<float>(std::log1p(std::max(0.0, v))); }
+
+struct Moments {
+  double mean = 0.0, stddev = 0.0, max = 0.0;
+};
+
+Moments moments(const std::vector<double>& xs) {
+  Moments m;
+  if (xs.empty()) return m;
+  for (const double x : xs) {
+    m.mean += x;
+    m.max = std::max(m.max, x);
+  }
+  m.mean /= static_cast<double>(xs.size());
+  for (const double x : xs) m.stddev += (x - m.mean) * (x - m.mean);
+  m.stddev = std::sqrt(m.stddev / static_cast<double>(xs.size()));
+  return m;
+}
+
+}  // namespace
+
+std::size_t kfp_feature_dim() { return kDim; }
+
+std::vector<float> extract_kfp_features(const netsim::PacketCapture& capture) {
+  std::vector<float> f;
+  f.reserve(kDim);
+
+  std::vector<double> in_sizes, out_sizes, interarrival;
+  double in_bytes = 0.0, out_bytes = 0.0;
+  double first = 0.0, last = 0.0;
+  double server_bytes[3] = {0.0, 0.0, 0.0};
+  std::size_t flips = 0, bursts = 0;
+  double burst_bytes = 0.0, max_burst_bytes = 0.0;
+  netsim::Direction prev = netsim::Direction::kOutgoing;
+  double prev_time = 0.0;
+
+  for (std::size_t i = 0; i < capture.records.size(); ++i) {
+    const netsim::Record& r = capture.records[i];
+    const double bytes = static_cast<double>(r.wire_bytes);
+    if (r.direction == netsim::Direction::kIncoming) {
+      in_sizes.push_back(bytes);
+      in_bytes += bytes;
+    } else {
+      out_sizes.push_back(bytes);
+      out_bytes += bytes;
+    }
+    server_bytes[std::min(r.server, 2)] += bytes;
+    if (i == 0) {
+      first = r.time_ms;
+      prev = r.direction;
+      burst_bytes = bytes;
+      bursts = 1;
+    } else {
+      interarrival.push_back(r.time_ms - prev_time);
+      if (r.direction != prev) {
+        ++flips;
+        ++bursts;
+        max_burst_bytes = std::max(max_burst_bytes, burst_bytes);
+        burst_bytes = 0.0;
+        prev = r.direction;
+      }
+      burst_bytes += bytes;
+    }
+    prev_time = r.time_ms;
+    last = r.time_ms;
+  }
+  max_burst_bytes = std::max(max_burst_bytes, burst_bytes);
+
+  const std::size_t total_records = capture.records.size();
+  const Moments in_m = moments(in_sizes), out_m = moments(out_sizes);
+  const Moments gap_m = moments(interarrival);
+  const double total_bytes = in_bytes + out_bytes;
+
+  f.push_back(flog(static_cast<double>(total_records)));
+  f.push_back(flog(static_cast<double>(in_sizes.size())));
+  f.push_back(flog(static_cast<double>(out_sizes.size())));
+  f.push_back(total_records > 0
+                  ? static_cast<float>(static_cast<double>(in_sizes.size()) /
+                                       static_cast<double>(total_records))
+                  : 0.0f);
+  f.push_back(flog(in_bytes));
+  f.push_back(flog(out_bytes));
+  f.push_back(total_bytes > 0.0 ? static_cast<float>(in_bytes / total_bytes) : 0.0f);
+  f.push_back(flog(in_m.mean));
+  f.push_back(flog(in_m.stddev));
+  f.push_back(flog(in_m.max));
+  f.push_back(flog(out_m.mean));
+  f.push_back(flog(out_m.stddev));
+  f.push_back(flog(out_m.max));
+  f.push_back(flog(last - first));
+  f.push_back(flog(gap_m.mean));
+  f.push_back(flog(gap_m.stddev));
+  f.push_back(flog(gap_m.max));
+  f.push_back(flog(static_cast<double>(flips)));
+  f.push_back(flog(static_cast<double>(bursts)));
+  f.push_back(bursts > 0 ? flog(total_bytes / static_cast<double>(bursts)) : 0.0f);
+  f.push_back(flog(max_burst_bytes));
+  for (const double sb : server_bytes)
+    f.push_back(total_bytes > 0.0 ? static_cast<float>(sb / total_bytes) : 0.0f);
+  // Size quantiles of incoming records.
+  std::vector<double> sorted_in = in_sizes;
+  std::sort(sorted_in.begin(), sorted_in.end());
+  for (const double q : {0.25, 0.5, 0.75, 0.95}) {
+    if (sorted_in.empty()) {
+      f.push_back(0.0f);
+    } else {
+      const std::size_t idx = std::min(sorted_in.size() - 1,
+                                       static_cast<std::size_t>(q * static_cast<double>(sorted_in.size())));
+      f.push_back(flog(sorted_in[idx]));
+    }
+  }
+
+  f.resize(kDim, 0.0f);
+  return f;
+}
+
+}  // namespace wf::baselines

@@ -1,0 +1,105 @@
+#include "baselines/hmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wf::baselines {
+
+JourneyHmm::JourneyHmm(const std::vector<std::vector<int>>& links, double self_loop,
+                       double teleport)
+    : links_(links), self_loop_(self_loop), teleport_(teleport) {
+  if (links_.empty()) throw std::invalid_argument("JourneyHmm: empty link graph");
+}
+
+std::vector<int> JourneyHmm::random_walk(int start, std::size_t length, util::Rng& rng) const {
+  std::vector<int> path;
+  path.reserve(length);
+  int current = start;
+  for (std::size_t step = 0; step < length; ++step) {
+    path.push_back(current);
+    const auto& out = links_[static_cast<std::size_t>(current)];
+    if (out.empty() || rng.bernoulli(teleport_)) {
+      current = static_cast<int>(rng.index(links_.size()));
+    } else if (rng.bernoulli(self_loop_)) {
+      // Reload / stay on the page.
+    } else {
+      current = out[rng.index(out.size())];
+    }
+  }
+  return path;
+}
+
+double JourneyHmm::transition_log(int from, int to) const {
+  const std::size_t n = links_.size();
+  const auto& out = links_[static_cast<std::size_t>(from)];
+  // Smoothed mixture: teleport anywhere, reload, or follow a link.
+  double p = teleport_ / static_cast<double>(n);
+  const double follow = 1.0 - teleport_;
+  if (to == from) p += follow * self_loop_;
+  if (!out.empty() && std::find(out.begin(), out.end(), to) != out.end())
+    p += follow * (1.0 - self_loop_) / static_cast<double>(out.size());
+  return std::log(p);
+}
+
+std::vector<int> JourneyHmm::viterbi(
+    const std::vector<std::vector<core::RankedLabel>>& emissions) const {
+  const std::size_t n = links_.size();
+  const std::size_t steps = emissions.size();
+  if (steps == 0) return {};
+
+  // Emission log-likelihoods from classifier votes, Laplace-smoothed.
+  constexpr double kAlpha = 0.5;
+  const auto emission_logs = [&](const std::vector<core::RankedLabel>& ranking) {
+    int total_votes = 0;
+    for (const core::RankedLabel& r : ranking) total_votes += r.votes;
+    std::vector<double> logs(n, 0.0);
+    const double denom = static_cast<double>(total_votes) + kAlpha * static_cast<double>(n);
+    for (std::size_t s = 0; s < n; ++s) logs[s] = std::log(kAlpha / denom);
+    for (const core::RankedLabel& r : ranking) {
+      if (r.label < 0 || static_cast<std::size_t>(r.label) >= n) continue;
+      logs[static_cast<std::size_t>(r.label)] =
+          std::log((static_cast<double>(r.votes) + kAlpha) / denom);
+    }
+    return logs;
+  };
+
+  std::vector<std::vector<double>> score(steps, std::vector<double>(n));
+  std::vector<std::vector<int>> back(steps, std::vector<int>(n, -1));
+
+  const double log_uniform = -std::log(static_cast<double>(n));
+  std::vector<double> em = emission_logs(emissions[0]);
+  for (std::size_t s = 0; s < n; ++s) score[0][s] = log_uniform + em[s];
+
+  for (std::size_t t = 1; t < steps; ++t) {
+    em = emission_logs(emissions[t]);
+    for (std::size_t to = 0; to < n; ++to) {
+      double best = -1e300;
+      int best_from = 0;
+      for (std::size_t from = 0; from < n; ++from) {
+        const double candidate =
+            score[t - 1][from] + transition_log(static_cast<int>(from), static_cast<int>(to));
+        if (candidate > best) {
+          best = candidate;
+          best_from = static_cast<int>(from);
+        }
+      }
+      score[t][to] = best + em[to];
+      back[t][to] = best_from;
+    }
+  }
+
+  std::vector<int> path(steps, 0);
+  double best = -1e300;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (score[steps - 1][s] > best) {
+      best = score[steps - 1][s];
+      path[steps - 1] = static_cast<int>(s);
+    }
+  }
+  for (std::size_t t = steps - 1; t > 0; --t)
+    path[t - 1] = back[t][static_cast<std::size_t>(path[t])];
+  return path;
+}
+
+}  // namespace wf::baselines

@@ -1,0 +1,168 @@
+#include "baselines/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace wf::baselines {
+
+namespace {
+
+int majority_label(const data::Dataset& dataset, const std::vector<std::size_t>& indices,
+                   std::size_t begin, std::size_t end) {
+  std::map<int, int> counts;
+  for (std::size_t i = begin; i < end; ++i) ++counts[dataset[indices[i]].label];
+  int best = -1, best_count = -1;
+  for (const auto& [label, count] : counts) {
+    if (count > best_count) {
+      best = label;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+double gini(const std::map<int, int>& counts, int total) {
+  if (total == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [label, count] : counts) {
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    sum += p * p;
+  }
+  return 1.0 - sum;
+}
+
+}  // namespace
+
+int RandomForest::grow(Tree& tree, const data::Dataset& dataset,
+                       std::vector<std::size_t>& indices, std::size_t begin, std::size_t end,
+                       int depth, util::Rng& rng) {
+  const std::size_t count = end - begin;
+  const int node_index = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+
+  // Pure, tiny or depth-capped: make a leaf.
+  bool pure = true;
+  for (std::size_t i = begin + 1; i < end && pure; ++i)
+    pure = dataset[indices[i]].label == dataset[indices[begin]].label;
+  if (pure || depth >= config_.max_depth ||
+      count < static_cast<std::size_t>(2 * std::max(1, config_.min_samples_leaf))) {
+    tree.nodes[static_cast<std::size_t>(node_index)].label =
+        majority_label(dataset, indices, begin, end);
+    return node_index;
+  }
+
+  const std::size_t dim = dataset.feature_dim();
+  std::size_t mtry = config_.n_feature_candidates > 0
+                         ? static_cast<std::size_t>(config_.n_feature_candidates)
+                         : static_cast<std::size_t>(std::sqrt(static_cast<double>(dim))) + 1;
+  mtry = std::min(mtry, dim);
+
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  double best_impurity = 1e300;
+
+  for (std::size_t trial = 0; trial < mtry; ++trial) {
+    const std::size_t feature = rng.index(dim);
+    // Candidate thresholds: midpoints of random sample pairs.
+    for (int cand = 0; cand < 4; ++cand) {
+      const float va = dataset[indices[begin + rng.index(count)]].features[feature];
+      const float vb = dataset[indices[begin + rng.index(count)]].features[feature];
+      const float threshold = 0.5f * (va + vb);
+      std::map<int, int> left_counts, right_counts;
+      int left_n = 0, right_n = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const data::Sample& s = dataset[indices[i]];
+        if (s.features[feature] <= threshold) {
+          ++left_counts[s.label];
+          ++left_n;
+        } else {
+          ++right_counts[s.label];
+          ++right_n;
+        }
+      }
+      if (left_n < config_.min_samples_leaf || right_n < config_.min_samples_leaf) continue;
+      const double impurity =
+          (static_cast<double>(left_n) * gini(left_counts, left_n) +
+           static_cast<double>(right_n) * gini(right_counts, right_n)) /
+          static_cast<double>(count);
+      if (impurity < best_impurity) {
+        best_impurity = impurity;
+        best_feature = static_cast<int>(feature);
+        best_threshold = threshold;
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    tree.nodes[static_cast<std::size_t>(node_index)].label =
+        majority_label(dataset, indices, begin, end);
+    return node_index;
+  }
+
+  // Partition [begin, end) around the chosen split.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t idx) {
+        return dataset[idx].features[static_cast<std::size_t>(best_feature)] <= best_threshold;
+      });
+  const std::size_t mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) {
+    tree.nodes[static_cast<std::size_t>(node_index)].label =
+        majority_label(dataset, indices, begin, end);
+    return node_index;
+  }
+
+  const int left = grow(tree, dataset, indices, begin, mid, depth + 1, rng);
+  const int right = grow(tree, dataset, indices, mid, end, depth + 1, rng);
+  Node& node = tree.nodes[static_cast<std::size_t>(node_index)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+void RandomForest::fit(const data::Dataset& dataset) {
+  if (dataset.empty()) throw std::invalid_argument("RandomForest::fit: empty dataset");
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(config_.n_trees));
+  util::Rng rng(config_.seed * 0x100000001b3ull + 19);
+  const std::size_t n = dataset.size();
+  for (int t = 0; t < config_.n_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<std::size_t> indices(n);
+    for (std::size_t i = 0; i < n; ++i) indices[i] = rng.index(n);
+    Tree tree;
+    grow(tree, dataset, indices, 0, n, 0, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<core::RankedLabel> RandomForest::rank(std::span<const float> features) const {
+  std::map<int, int> votes;
+  for (const Tree& tree : trees_) {
+    int node = 0;
+    while (tree.nodes[static_cast<std::size_t>(node)].feature >= 0) {
+      const Node& n = tree.nodes[static_cast<std::size_t>(node)];
+      node = features[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+    }
+    ++votes[tree.nodes[static_cast<std::size_t>(node)].label];
+  }
+  std::vector<core::RankedLabel> ranking;
+  ranking.reserve(votes.size());
+  for (const auto& [label, count] : votes) ranking.push_back({label, count, 0.0});
+  std::sort(ranking.begin(), ranking.end(), [](const core::RankedLabel& a, const core::RankedLabel& b) {
+    if (a.votes != b.votes) return a.votes > b.votes;
+    return a.label < b.label;
+  });
+  return ranking;
+}
+
+int RandomForest::predict(std::span<const float> features) const {
+  const std::vector<core::RankedLabel> ranking = rank(features);
+  return ranking.empty() ? -1 : ranking.front().label;
+}
+
+}  // namespace wf::baselines

@@ -1,0 +1,76 @@
+#include "core/adaptive.hpp"
+
+#include <stdexcept>
+
+namespace wf::core {
+
+AdaptiveFingerprinter::AdaptiveFingerprinter(const EmbeddingConfig& config, int knn_k)
+    : model_(config), references_(config.embedding_dim), knn_(knn_k) {}
+
+TrainStats AdaptiveFingerprinter::provision(const data::Dataset& train,
+                                            data::PairStrategy strategy) {
+  data::PairGenerator pairs(train, strategy, model_.config().seed);
+  return model_.train(pairs);
+}
+
+void AdaptiveFingerprinter::initialize(const data::Dataset& references) {
+  references_ = ReferenceSet(model_.config().embedding_dim);
+  references_.add_all(model_.embed_dataset(references), references.labels_of());
+}
+
+std::vector<RankedLabel> AdaptiveFingerprinter::fingerprint(
+    std::span<const float> features) const {
+  const std::vector<float> embedding = model_.embed(features);
+  return knn_.rank(references_, embedding);
+}
+
+EvaluationResult AdaptiveFingerprinter::evaluate(const data::Dataset& test,
+                                                 std::size_t max_n) const {
+  util::Stopwatch watch;
+  EvaluationResult result;
+  result.n_samples = test.size();
+  if (test.empty()) return result;
+  std::vector<double> hits(std::max<std::size_t>(1, max_n), 0.0);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const std::vector<RankedLabel> ranking = fingerprint(test[i].features);
+    for (std::size_t r = 0; r < ranking.size() && r < hits.size(); ++r) {
+      if (ranking[r].label == test[i].label) {
+        hits[r] += 1.0;
+        break;
+      }
+    }
+  }
+  // Cumulate and normalize.
+  std::vector<double> curve(hits.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t n = 0; n < hits.size(); ++n) {
+    acc += hits[n];
+    curve[n] = acc / static_cast<double>(test.size());
+  }
+  result.curve = TopNCurve(std::move(curve));
+  result.seconds = watch.seconds();
+  return result;
+}
+
+double AdaptiveFingerprinter::probe_class_accuracy(int label, const data::Dataset& probe) const {
+  if (probe.empty()) return 0.0;
+  std::size_t hits = 0, total = 0;
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    if (probe[i].label != label) continue;
+    ++total;
+    const std::vector<RankedLabel> ranking = fingerprint(probe[i].features);
+    if (!ranking.empty() && ranking.front().label == label) ++hits;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+void AdaptiveFingerprinter::adapt_class(int label, const data::Dataset& fresh) {
+  references_.remove_class(label);
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    if (fresh[i].label != label) continue;
+    references_.add(model_.embed(fresh[i].features), label);
+  }
+}
+
+}  // namespace wf::core

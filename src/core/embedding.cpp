@@ -1,0 +1,192 @@
+#include "core/embedding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+
+namespace wf::core {
+
+namespace {
+
+// Normalize in place; returns the pre-normalization norm.
+double normalize(std::vector<float>& v) {
+  double norm = 0.0;
+  for (const float x : v) norm += static_cast<double>(x) * x;
+  norm = std::sqrt(norm);
+  const double inv = norm > 1e-12 ? 1.0 / norm : 0.0;
+  for (float& x : v) x = static_cast<float>(x * inv);
+  return norm;
+}
+
+// Backprop through y = r / ||r||: given dL/dy, produce dL/dr.
+std::vector<float> normalization_grad(const std::vector<float>& y, double raw_norm,
+                                      const std::vector<float>& grad_y) {
+  double dot = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) dot += static_cast<double>(grad_y[i]) * y[i];
+  std::vector<float> grad_r(y.size());
+  const double inv = raw_norm > 1e-12 ? 1.0 / raw_norm : 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    grad_r[i] = static_cast<float>((grad_y[i] - dot * y[i]) * inv);
+  return grad_r;
+}
+
+struct EmbeddedSample {
+  nn::Mlp::Activations acts;
+  std::vector<float> y;   // normalized embedding
+  double raw_norm = 0.0;
+};
+
+}  // namespace
+
+EmbeddingModel::EmbeddingModel(const EmbeddingConfig& config) : config_(config) {
+  std::vector<std::size_t> sizes;
+  sizes.push_back(config_.input_dim());
+  for (const std::size_t h : config_.hidden) sizes.push_back(h);
+  sizes.push_back(config_.embedding_dim);
+  net_ = nn::Mlp(sizes, config_.seed);
+}
+
+std::vector<float> EmbeddingModel::embed(std::span<const float> features) const {
+  if (features.size() != net_.input_dim())
+    throw std::invalid_argument("EmbeddingModel::embed: feature width mismatch");
+  std::vector<float> out = net_.forward(features);
+  normalize(out);
+  return out;
+}
+
+nn::Matrix EmbeddingModel::embed(const nn::Matrix& batch) const {
+  nn::Matrix out(batch.rows(), config_.embedding_dim);
+  for (std::size_t r = 0; r < batch.rows(); ++r) out.set_row(r, embed(batch.row_span(r)));
+  return out;
+}
+
+nn::Matrix EmbeddingModel::embed_dataset(const data::Dataset& dataset) const {
+  nn::Matrix out(dataset.size(), config_.embedding_dim);
+  for (std::size_t i = 0; i < dataset.size(); ++i) out.set_row(i, embed(dataset[i].features));
+  return out;
+}
+
+void EmbeddingModel::train_contrastive_pair(std::span<const float> xa, std::span<const float> xb,
+                                            bool positive, double& loss_acc,
+                                            double& correct_acc) {
+  EmbeddedSample a, b;
+  a.y = net_.forward_cached(xa, a.acts);
+  a.raw_norm = normalize(a.y);
+  b.y = net_.forward_cached(xb, b.acts);
+  b.raw_norm = normalize(b.y);
+
+  const std::size_t m = a.y.size();
+  std::vector<float> diff(m);
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    diff[i] = a.y[i] - b.y[i];
+    d2 += static_cast<double>(diff[i]) * diff[i];
+  }
+  const double d = std::sqrt(d2);
+  const double margin = config_.margin;
+
+  // Margin-threshold pair prediction for the pair-accuracy statistic.
+  const bool predicted_positive = d < margin * 0.5;
+  if (predicted_positive == positive) correct_acc += 1.0;
+
+  std::vector<float> ga(m, 0.0f), gb(m, 0.0f);
+  if (positive) {
+    loss_acc += d2;
+    for (std::size_t i = 0; i < m; ++i) {
+      ga[i] = 2.0f * diff[i];
+      gb[i] = -2.0f * diff[i];
+    }
+  } else {
+    if (d < margin) {
+      const double gap = margin - d;
+      loss_acc += gap * gap;
+      const double scale = d > 1e-9 ? -2.0 * gap / d : 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        ga[i] = static_cast<float>(scale * diff[i]);
+        gb[i] = static_cast<float>(-scale * diff[i]);
+      }
+    }
+  }
+  net_.backward(xa, a.acts, normalization_grad(a.y, a.raw_norm, ga));
+  net_.backward(xb, b.acts, normalization_grad(b.y, b.raw_norm, gb));
+}
+
+void EmbeddingModel::train_triplet(std::span<const float> xa, std::span<const float> xp,
+                                   std::span<const float> xn, double& loss_acc,
+                                   double& correct_acc) {
+  EmbeddedSample a, p, n;
+  a.y = net_.forward_cached(xa, a.acts);
+  a.raw_norm = normalize(a.y);
+  p.y = net_.forward_cached(xp, p.acts);
+  p.raw_norm = normalize(p.y);
+  n.y = net_.forward_cached(xn, n.acts);
+  n.raw_norm = normalize(n.y);
+
+  const std::size_t m = a.y.size();
+  double d_ap = 0.0, d_an = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double ap = static_cast<double>(a.y[i]) - p.y[i];
+    const double an = static_cast<double>(a.y[i]) - n.y[i];
+    d_ap += ap * ap;
+    d_an += an * an;
+  }
+  if (d_ap < d_an) correct_acc += 1.0;
+  const double loss = d_ap - d_an + config_.margin;
+  if (loss <= 0.0) return;
+  loss_acc += loss;
+
+  std::vector<float> ga(m), gp(m), gn(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    ga[i] = 2.0f * (n.y[i] - p.y[i]);
+    gp[i] = 2.0f * (p.y[i] - a.y[i]);
+    gn[i] = 2.0f * (a.y[i] - n.y[i]);
+  }
+  net_.backward(xa, a.acts, normalization_grad(a.y, a.raw_norm, ga));
+  net_.backward(xp, p.acts, normalization_grad(p.y, p.raw_norm, gp));
+  net_.backward(xn, n.acts, normalization_grad(n.y, n.raw_norm, gn));
+}
+
+TrainStats EmbeddingModel::train(data::PairGenerator& pairs) {
+  if (pairs.dataset().feature_dim() != config_.input_dim())
+    throw std::invalid_argument("EmbeddingModel::train: dataset width != config input_dim");
+  util::Stopwatch watch;
+  TrainStats stats;
+  stats.iterations = config_.train_iterations;
+
+  // Loss/accuracy reported over the trailing window of training.
+  const int window = std::max(1, config_.train_iterations / 5);
+  double window_loss = 0.0, window_correct = 0.0;
+  long window_items = 0;
+
+  const data::Dataset& dataset = pairs.dataset();
+  for (int step = 0; step < config_.train_iterations; ++step) {
+    const bool in_window = step >= config_.train_iterations - window;
+    double loss = 0.0, correct = 0.0;
+    for (int b = 0; b < config_.batch_pairs; ++b) {
+      if (config_.objective == Objective::kContrastive) {
+        const data::SamplePair pair = pairs.next();
+        train_contrastive_pair(dataset[pair.a].features, dataset[pair.b].features,
+                               pair.positive, loss, correct);
+      } else {
+        const data::SampleTriplet t = pairs.next_triplet();
+        train_triplet(dataset[t.anchor].features, dataset[t.positive].features,
+                      dataset[t.negative].features, loss, correct);
+      }
+    }
+    net_.adam_step(config_.learning_rate);
+    if (in_window) {
+      window_loss += loss;
+      window_correct += correct;
+      window_items += config_.batch_pairs;
+    }
+  }
+  if (window_items > 0) {
+    stats.final_loss = window_loss / static_cast<double>(window_items);
+    stats.pair_accuracy = window_correct / static_cast<double>(window_items);
+  }
+  stats.seconds = watch.seconds();
+  return stats;
+}
+
+}  // namespace wf::core

@@ -1,0 +1,29 @@
+#include "core/embedding_config.hpp"
+
+#include <string>
+
+namespace wf::core {
+
+util::Table hyperparameter_table(const EmbeddingConfig& config) {
+  util::Table table({"Hyperparameter", "Value"});
+  std::string hidden;
+  for (std::size_t i = 0; i < config.hidden.size(); ++i) {
+    if (i > 0) hidden += " x ";
+    hidden += std::to_string(config.hidden[i]);
+  }
+  table.add_row({"input sequences", std::to_string(config.n_sequences)});
+  table.add_row({"timesteps per sequence", std::to_string(config.timesteps)});
+  table.add_row({"hidden layers (ReLU)", hidden});
+  table.add_row({"embedding dimension", std::to_string(config.embedding_dim)});
+  table.add_row({"objective", config.objective == Objective::kContrastive
+                                 ? "contrastive (eq. 1)"
+                                 : "triplet"});
+  table.add_row({"margin", util::Table::num(config.margin, 2)});
+  table.add_row({"optimizer", "Adam"});
+  table.add_row({"learning rate", util::Table::num(config.learning_rate, 4)});
+  table.add_row({"batch pairs", std::to_string(config.batch_pairs)});
+  table.add_row({"train iterations", std::to_string(config.train_iterations)});
+  return table;
+}
+
+}  // namespace wf::core

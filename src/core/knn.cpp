@@ -1,0 +1,50 @@
+#include "core/knn.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace wf::core {
+
+std::vector<RankedLabel> KnnClassifier::rank(const ReferenceSet& references,
+                                             std::span<const float> query) const {
+  const std::size_t n = references.size();
+  if (n == 0) return {};
+
+  std::vector<std::pair<double, std::size_t>> distances;  // (squared dist, ref index)
+  distances.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    distances.emplace_back(nn::squared_distance(references.embedding(i), query), i);
+
+  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(k_), n);
+  std::partial_sort(distances.begin(), distances.begin() + static_cast<std::ptrdiff_t>(k),
+                    distances.end());
+
+  struct ClassStats {
+    int votes = 0;
+    double best = 1e300;  // nearest reference of this class (any rank)
+  };
+  std::map<int, ClassStats> stats;
+  for (std::size_t i = 0; i < k; ++i) {
+    ClassStats& s = stats[references.label(distances[i].second)];
+    ++s.votes;
+    s.best = std::min(s.best, distances[i].first);
+  }
+  // Classes outside the top k still need a rank: order them by their
+  // nearest reference overall.
+  for (std::size_t i = k; i < n; ++i) {
+    ClassStats& s = stats[references.label(distances[i].second)];
+    s.best = std::min(s.best, distances[i].first);
+  }
+
+  std::vector<RankedLabel> ranking;
+  ranking.reserve(stats.size());
+  for (const auto& [label, s] : stats) ranking.push_back({label, s.votes, s.best});
+  std::sort(ranking.begin(), ranking.end(), [](const RankedLabel& a, const RankedLabel& b) {
+    if (a.votes != b.votes) return a.votes > b.votes;
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.label < b.label;
+  });
+  return ranking;
+}
+
+}  // namespace wf::core

@@ -1,0 +1,68 @@
+#include "core/openworld.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace wf::core {
+
+double OpenWorldDetector::kth_distance(const ReferenceSet& references,
+                                       std::span<const float> embedding) const {
+  const std::size_t n = references.size();
+  if (n == 0) return 1e300;
+  std::vector<double> distances;
+  distances.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    distances.push_back(nn::squared_distance(references.embedding(i), embedding));
+  const std::size_t k =
+      std::min<std::size_t>(std::max(1, config_.neighbour), n) - 1;
+  std::nth_element(distances.begin(), distances.begin() + static_cast<std::ptrdiff_t>(k),
+                   distances.end());
+  return std::sqrt(distances[k]);
+}
+
+void OpenWorldDetector::calibrate(const ReferenceSet& references,
+                                  const nn::Matrix& monitored_samples) {
+  if (monitored_samples.rows() == 0)
+    throw std::invalid_argument("OpenWorldDetector::calibrate: no monitored samples");
+  std::vector<double> distances;
+  distances.reserve(monitored_samples.rows());
+  for (std::size_t i = 0; i < monitored_samples.rows(); ++i)
+    distances.push_back(kth_distance(references, monitored_samples.row_span(i)));
+  std::sort(distances.begin(), distances.end());
+  // Smallest threshold accepting at least target_tpr of the monitored set.
+  const double tpr = std::clamp(config_.target_tpr, 0.0, 1.0);
+  std::size_t idx = static_cast<std::size_t>(
+      std::ceil(tpr * static_cast<double>(distances.size())));
+  if (idx == 0) idx = 1;
+  if (idx > distances.size()) idx = distances.size();
+  threshold_ = distances[idx - 1] * (1.0 + 1e-9);
+}
+
+bool OpenWorldDetector::is_monitored(const ReferenceSet& references,
+                                     std::span<const float> embedding) const {
+  return kth_distance(references, embedding) <= threshold_;
+}
+
+OpenWorldMetrics OpenWorldDetector::evaluate(const ReferenceSet& references,
+                                             const nn::Matrix& monitored,
+                                             const nn::Matrix& unmonitored) const {
+  OpenWorldMetrics metrics;
+  metrics.threshold = threshold_;
+  std::size_t tp = 0, fp = 0;
+  for (std::size_t i = 0; i < monitored.rows(); ++i)
+    if (is_monitored(references, monitored.row_span(i))) ++tp;
+  for (std::size_t i = 0; i < unmonitored.rows(); ++i)
+    if (is_monitored(references, unmonitored.row_span(i))) ++fp;
+  if (monitored.rows() > 0)
+    metrics.true_positive_rate = static_cast<double>(tp) / static_cast<double>(monitored.rows());
+  if (unmonitored.rows() > 0)
+    metrics.false_positive_rate =
+        static_cast<double>(fp) / static_cast<double>(unmonitored.rows());
+  if (tp + fp > 0)
+    metrics.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+  return metrics;
+}
+
+}  // namespace wf::core

@@ -1,0 +1,51 @@
+#include "data/build.hpp"
+
+#include <numeric>
+
+namespace wf::data {
+
+CaptureCorpus collect_captures(const netsim::Website& site, const netsim::ServerFarm& farm,
+                               const std::vector<int>& pages,
+                               const DatasetBuildOptions& options) {
+  std::vector<int> targets = pages;
+  if (targets.empty()) {
+    targets.resize(site.pages.size());
+    std::iota(targets.begin(), targets.end(), 0);
+  }
+  CaptureCorpus corpus;
+  corpus.captures.reserve(targets.size() * static_cast<std::size_t>(options.samples_per_class));
+  corpus.labels.reserve(corpus.captures.capacity());
+  util::Rng crawl_rng(options.seed);
+  for (const int page : targets) {
+    // Every page gets its own deterministic stream so crawling a subset of
+    // pages yields byte-identical traces to crawling the full site.
+    util::Rng page_rng = crawl_rng.fork(static_cast<std::uint64_t>(page));
+    for (int s = 0; s < options.samples_per_class; ++s) {
+      corpus.captures.push_back(netsim::load_page(site, farm, page, options.browser, page_rng));
+      corpus.labels.push_back(page);
+    }
+  }
+  return corpus;
+}
+
+Dataset encode_corpus(const CaptureCorpus& corpus, const trace::SequenceOptions& sequence,
+                      const trace::FixedLengthDefense* defense, std::uint64_t defense_seed) {
+  Dataset dataset(sequence.feature_dim());
+  util::Rng defense_rng(defense_seed * 0x9e3779b97f4a7c15ull + 17);
+  for (std::size_t i = 0; i < corpus.captures.size(); ++i) {
+    if (defense != nullptr) {
+      const netsim::PacketCapture padded = defense->apply(corpus.captures[i], defense_rng);
+      dataset.add({trace::encode_capture(padded, sequence), corpus.labels[i]});
+    } else {
+      dataset.add({trace::encode_capture(corpus.captures[i], sequence), corpus.labels[i]});
+    }
+  }
+  return dataset;
+}
+
+Dataset build_dataset(const netsim::Website& site, const netsim::ServerFarm& farm,
+                      const std::vector<int>& pages, const DatasetBuildOptions& options) {
+  return encode_corpus(collect_captures(site, farm, pages, options), options.sequence);
+}
+
+}  // namespace wf::data

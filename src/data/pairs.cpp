@@ -1,0 +1,110 @@
+#include "data/pairs.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace wf::data {
+
+namespace {
+constexpr std::size_t kHardPool = 5;  // candidate classes per hard negative
+}
+
+PairGenerator::PairGenerator(const Dataset& dataset, PairStrategy strategy, std::uint64_t seed)
+    : dataset_(&dataset), strategy_(strategy), rng_(seed * 0x6c62272e07bb0142ull + 5) {
+  if (dataset.empty()) throw std::invalid_argument("PairGenerator: empty dataset");
+  std::map<int, std::size_t> position;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const int label = dataset[i].label;
+    auto [it, inserted] = position.emplace(label, classes_.size());
+    if (inserted) {
+      classes_.push_back(label);
+      by_class_.emplace_back();
+    }
+    by_class_[it->second].push_back(i);
+  }
+  if (classes_.size() < 2)
+    throw std::invalid_argument("PairGenerator: need at least two classes");
+
+  if (strategy_ == PairStrategy::kHardNegative) {
+    // Class centroids in input space; each class's hard negatives are the
+    // classes with the closest centroids.
+    const std::size_t dim = dataset.feature_dim();
+    nn::Matrix centroids(classes_.size(), dim);
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+      for (const std::size_t i : by_class_[c]) {
+        const auto& f = dataset[i].features;
+        for (std::size_t d = 0; d < dim; ++d) centroids(c, d) += f[d];
+      }
+      const float inv = 1.0f / static_cast<float>(by_class_[c].size());
+      for (std::size_t d = 0; d < dim; ++d) centroids(c, d) *= inv;
+    }
+    hard_neighbours_.resize(classes_.size());
+    std::vector<std::pair<double, std::size_t>> dist;
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+      dist.clear();
+      for (std::size_t o = 0; o < classes_.size(); ++o) {
+        if (o == c) continue;
+        dist.emplace_back(nn::squared_distance(centroids.row_span(c), centroids.row_span(o)), o);
+      }
+      const std::size_t keep = std::min(kHardPool, dist.size());
+      std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(keep),
+                        dist.end());
+      for (std::size_t i = 0; i < keep; ++i) hard_neighbours_[c].push_back(dist[i].second);
+    }
+  }
+}
+
+std::size_t PairGenerator::sample_of_class(std::size_t class_pos) {
+  const auto& pool = by_class_[class_pos];
+  return pool[rng_.index(pool.size())];
+}
+
+std::size_t PairGenerator::negative_class_for(std::size_t class_pos) {
+  if (strategy_ == PairStrategy::kHardNegative && !hard_neighbours_[class_pos].empty()) {
+    const auto& pool = hard_neighbours_[class_pos];
+    return pool[rng_.index(pool.size())];
+  }
+  std::size_t other = rng_.index(classes_.size() - 1);
+  if (other >= class_pos) ++other;
+  return other;
+}
+
+SamplePair PairGenerator::next() {
+  SamplePair pair;
+  pair.positive = next_positive_;
+  next_positive_ = !next_positive_;
+  const std::size_t anchor_class = rng_.index(classes_.size());
+  pair.a = sample_of_class(anchor_class);
+  if (pair.positive) {
+    // Same class, preferring a distinct sample.
+    pair.b = sample_of_class(anchor_class);
+    if (pair.b == pair.a && by_class_[anchor_class].size() > 1) {
+      while (pair.b == pair.a) pair.b = sample_of_class(anchor_class);
+    }
+  } else {
+    pair.b = sample_of_class(negative_class_for(anchor_class));
+  }
+  return pair;
+}
+
+std::vector<SamplePair> PairGenerator::batch(std::size_t n) {
+  std::vector<SamplePair> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+SampleTriplet PairGenerator::next_triplet() {
+  SampleTriplet t;
+  const std::size_t anchor_class = rng_.index(classes_.size());
+  t.anchor = sample_of_class(anchor_class);
+  t.positive = sample_of_class(anchor_class);
+  if (t.positive == t.anchor && by_class_[anchor_class].size() > 1) {
+    while (t.positive == t.anchor) t.positive = sample_of_class(anchor_class);
+  }
+  t.negative = sample_of_class(negative_class_for(anchor_class));
+  return t;
+}
+
+}  // namespace wf::data

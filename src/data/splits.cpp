@@ -1,0 +1,29 @@
+#include "data/splits.hpp"
+
+#include <map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wf::data {
+
+SampleSplit split_samples(const Dataset& dataset, int n_first_per_class, std::uint64_t seed) {
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < dataset.size(); ++i) by_class[dataset[i].label].push_back(i);
+
+  SampleSplit split{Dataset(dataset.feature_dim()), Dataset(dataset.feature_dim())};
+  util::Rng rng(seed);
+  for (auto& [label, indices] : by_class) {
+    // Fisher-Yates with the shared deterministic stream.
+    for (std::size_t i = indices.size(); i > 1; --i)
+      std::swap(indices[i - 1], indices[rng.index(i)]);
+    for (std::size_t rank = 0; rank < indices.size(); ++rank) {
+      const Sample& sample = dataset[indices[rank]];
+      if (rank < static_cast<std::size_t>(n_first_per_class)) split.first.add(sample);
+      else split.second.add(sample);
+    }
+  }
+  return split;
+}
+
+}  // namespace wf::data

@@ -1,0 +1,91 @@
+#include "eval/exp_costs.hpp"
+
+#include "baselines/features.hpp"
+#include "baselines/random_forest.hpp"
+
+namespace wf::eval {
+
+CostResult run_cost_experiment(WikiScenario& scenario) {
+  const ScenarioConfig& cfg = scenario.config();
+  CostResult result{
+      util::Table({"System", "Provisioning", "Target-set update", "Per-trace test"}),
+      util::Table({"System", "Provisioning (s)", "Update one class (ms)", "Per-trace test (ms)"}),
+  };
+
+  // Table III as published: qualitative cost structure of the literature
+  // systems (GPU-hours for CNNs, minutes for forests, one-off embedding
+  // training plus free adaptation for this work).
+  result.literature.add_row(
+      {"DF / Var-CNN (CNN)", "hours (GPU)", "full retrain (hours)", "milliseconds"});
+  result.literature.add_row(
+      {"k-FP (forest)", "minutes", "full refit (minutes)", "milliseconds"});
+  result.literature.add_row(
+      {"Triplet FP (embedding)", "hours, once", "embed new refs (seconds)", "milliseconds"});
+  result.literature.add_row(
+      {"This work (adaptive embedding)", "hours, once", "reference swap (seconds)",
+       "milliseconds"});
+
+  // Measured on the simulated workload.
+  const int classes = cfg.cost_classes;
+  util::log_info() << "costs: measuring on " << classes << " classes";
+  data::DatasetBuildOptions crawl;
+  crawl.samples_per_class = cfg.samples_per_class;
+  crawl.sequence = cfg.seq3;
+  crawl.browser = cfg.browser;
+  crawl.seed = cfg.crawl_seed;
+  const data::CaptureCorpus corpus = data::collect_captures(
+      scenario.wiki_site(classes), scenario.wiki_farm(), {}, crawl);
+  const data::Dataset dataset = data::encode_corpus(corpus, cfg.seq3);
+  const data::SampleSplit split =
+      data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
+
+  // This work: provision once, adapt by swap, test per trace.
+  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k);
+  util::Stopwatch watch;
+  attacker.provision(split.first);
+  attacker.initialize(split.first);
+  const double provision_s = watch.seconds();
+
+  const int probe_class = 0;
+  const data::Dataset fresh =
+      split.second.filter([probe_class](int l) { return l == probe_class; });
+  watch.reset();
+  attacker.adapt_class(probe_class, fresh);
+  const double adapt_ms = watch.millis();
+
+  watch.reset();
+  std::size_t tested = 0;
+  for (std::size_t i = 0; i < split.second.size(); ++i, ++tested)
+    attacker.fingerprint(split.second[i].features);
+  const double test_ms = tested > 0 ? watch.millis() / static_cast<double>(tested) : 0.0;
+  result.measured.add_row({"This work (adaptive embedding)", util::Table::num(provision_s, 2),
+                           util::Table::num(adapt_ms, 2), util::Table::num(test_ms, 3)});
+
+  // k-FP forest: refit on every target-set change.
+  data::Dataset kfp_dataset(baselines::kfp_feature_dim());
+  for (std::size_t i = 0; i < corpus.captures.size(); ++i)
+    kfp_dataset.add({baselines::extract_kfp_features(corpus.captures[i]), corpus.labels[i]});
+  const data::SampleSplit kfp_split =
+      data::split_samples(kfp_dataset, cfg.train_samples_per_class, cfg.split_seed);
+  baselines::RandomForest forest{baselines::ForestConfig{}};
+  watch.reset();
+  forest.fit(kfp_split.first);
+  const double fit_s = watch.seconds();
+  watch.reset();
+  forest.fit(kfp_split.first);  // a target-set change forces a full refit
+  const double refit_ms = watch.millis();
+  watch.reset();
+  tested = 0;
+  for (std::size_t i = 0; i < kfp_split.second.size(); ++i, ++tested)
+    forest.rank(kfp_split.second[i].features);
+  const double forest_test_ms =
+      tested > 0 ? watch.millis() / static_cast<double>(tested) : 0.0;
+  result.measured.add_row({"k-FP (forest, full refit)", util::Table::num(fit_s, 2),
+                           util::Table::num(refit_ms, 2), util::Table::num(forest_test_ms, 3)});
+
+  result.literature.write_csv(results_dir() + "/table3_literature.csv");
+  result.measured.write_csv(results_dir() + "/table3_measured.csv");
+  return result;
+}
+
+}  // namespace wf::eval

@@ -1,0 +1,50 @@
+#include "eval/exp_crosssite.hpp"
+
+namespace wf::eval {
+
+util::Table run_exp3_crosssite(WikiScenario& scenario) {
+  const ScenarioConfig& cfg = scenario.config();
+  util::Table table({"Target", "Top-1", "Top-3", "Top-10"});
+  const int classes = cfg.crosssite_classes;
+
+  // The 2-sequence model: per-IP routing does not transfer across sites
+  // with different server layouts, so Exp. 3 uses the directional encoding.
+  data::DatasetBuildOptions crawl;
+  crawl.samples_per_class = cfg.samples_per_class;
+  crawl.sequence = cfg.seq2;
+  crawl.browser = cfg.browser;
+  crawl.seed = cfg.crawl_seed;
+
+  util::log_info() << "exp3: provisioning 2-seq model on wiki (TLS 1.2)";
+  const data::Dataset home_dataset =
+      data::build_dataset(scenario.wiki_site(classes), scenario.wiki_farm(), {}, crawl);
+  const data::SampleSplit home_split =
+      data::split_samples(home_dataset, cfg.train_samples_per_class, cfg.split_seed);
+  core::AdaptiveFingerprinter attacker(cfg.embedding2, cfg.knn_k);
+  attacker.provision(home_split.first);
+
+  const auto evaluate_target = [&](const char* name, const netsim::Website& site,
+                                   const netsim::ServerFarm& farm, std::uint64_t seed) {
+    data::DatasetBuildOptions options = crawl;
+    options.seed = seed;
+    const data::Dataset dataset = data::build_dataset(site, farm, {}, options);
+    const data::SampleSplit split =
+        data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
+    attacker.initialize(split.first);
+    const core::EvaluationResult r = attacker.evaluate(split.second, 10);
+    table.add_row({name, util::Table::pct(r.curve.top(1)), util::Table::pct(r.curve.top(3)),
+                   util::Table::pct(r.curve.top(10))});
+  };
+
+  evaluate_target("wiki TLS 1.2 (home)", scenario.wiki_site(classes), scenario.wiki_farm(),
+                  cfg.crawl_seed);
+  evaluate_target("wiki TLS 1.3 (version shift)", scenario.wiki_site(classes, /*tls13=*/true),
+                  scenario.wiki_farm(), cfg.crawl_seed + 101);
+  evaluate_target("github TLS 1.3 (site + version shift)", scenario.github_site(classes),
+                  scenario.github_farm(), cfg.crawl_seed + 202);
+
+  table.write_csv(results_dir() + "/exp3_crosssite.csv");
+  return table;
+}
+
+}  // namespace wf::eval

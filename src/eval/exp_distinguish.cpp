@@ -1,0 +1,107 @@
+#include "eval/exp_distinguish.hpp"
+
+#include <map>
+
+#include "trace/defense.hpp"
+
+namespace wf::eval {
+
+namespace {
+
+// Mean rank of the true label per class, over a test set.
+std::map<int, double> mean_guesses_per_class(const core::AdaptiveFingerprinter& attacker,
+                                             const data::Dataset& test,
+                                             std::size_t fallback_rank) {
+  std::map<int, std::pair<double, std::size_t>> acc;  // label -> (sum, count)
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const std::vector<core::RankedLabel> ranking = attacker.fingerprint(test[i].features);
+    std::size_t rank = fallback_rank;
+    for (std::size_t r = 0; r < ranking.size(); ++r) {
+      if (ranking[r].label == test[i].label) {
+        rank = r + 1;
+        break;
+      }
+    }
+    auto& [sum, count] = acc[test[i].label];
+    sum += static_cast<double>(rank);
+    ++count;
+  }
+  std::map<int, double> means;
+  for (const auto& [label, sc] : acc)
+    means[label] = sc.first / static_cast<double>(sc.second);
+  return means;
+}
+
+util::Table guess_cdf(const std::map<int, double>& means) {
+  util::Table table({"Mean guesses <=", "Fraction of classes"});
+  for (const double threshold : {1.0, 2.0, 3.0, 5.0, 10.0, 20.0}) {
+    std::size_t below = 0;
+    for (const auto& [label, mean] : means)
+      if (mean <= threshold) ++below;
+    table.add_row({util::Table::num(threshold, 0),
+                   util::Table::pct(means.empty() ? 0.0
+                                                  : static_cast<double>(below) /
+                                                        static_cast<double>(means.size()))});
+  }
+  return table;
+}
+
+}  // namespace
+
+Exp4Result run_exp4_distinguish(WikiScenario& scenario) {
+  const ScenarioConfig& cfg = scenario.config();
+  const int classes = cfg.distinguish_classes;
+  const std::size_t fallback = static_cast<std::size_t>(classes);
+
+  data::DatasetBuildOptions crawl;
+  crawl.samples_per_class = cfg.samples_per_class;
+  crawl.sequence = cfg.seq3;
+  crawl.browser = cfg.browser;
+  crawl.seed = cfg.crawl_seed;
+
+  util::log_info() << "exp4: provisioning on " << classes << " known classes";
+  const data::CaptureCorpus corpus = data::collect_captures(
+      scenario.wiki_site(classes), scenario.wiki_farm(), {}, crawl);
+  const data::Dataset dataset = data::encode_corpus(corpus, cfg.seq3);
+  const data::SampleSplit split =
+      data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
+  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k);
+  attacker.provision(split.first);
+  attacker.initialize(split.first);
+
+  // Fig. 9: known classes.
+  const std::map<int, double> known = mean_guesses_per_class(attacker, split.second, fallback);
+
+  // Fig. 10: unseen classes from a disjoint site.
+  util::log_info() << "exp4: unseen classes";
+  data::DatasetBuildOptions unseen_crawl = crawl;
+  unseen_crawl.seed = cfg.crawl_seed + 900'000;
+  const data::Dataset unseen_dataset = data::build_dataset(
+      scenario.fresh_site(classes, 4), scenario.wiki_farm(), {}, unseen_crawl);
+  const data::SampleSplit unseen_split =
+      data::split_samples(unseen_dataset, cfg.train_samples_per_class, cfg.split_seed);
+  core::AdaptiveFingerprinter transfer = attacker;
+  transfer.initialize(unseen_split.first);
+  const std::map<int, double> unknown =
+      mean_guesses_per_class(transfer, unseen_split.second, fallback);
+
+  // Fig. 11: known classes under fixed-length padding (defense applied to
+  // both the reference crawl and the victim traffic).
+  util::log_info() << "exp4: FL-padded classes";
+  const trace::FixedLengthDefense defense = trace::FixedLengthDefense::fit(corpus.captures);
+  const data::Dataset padded_dataset = data::encode_corpus(corpus, cfg.seq3, &defense, 9);
+  const data::SampleSplit padded_split =
+      data::split_samples(padded_dataset, cfg.train_samples_per_class, cfg.split_seed);
+  core::AdaptiveFingerprinter padded_attacker = attacker;
+  padded_attacker.initialize(padded_split.first);
+  const std::map<int, double> padded =
+      mean_guesses_per_class(padded_attacker, padded_split.second, fallback);
+
+  Exp4Result result{guess_cdf(known), guess_cdf(unknown), guess_cdf(padded)};
+  result.known.write_csv(results_dir() + "/exp4_known.csv");
+  result.unknown.write_csv(results_dir() + "/exp4_unknown.csv");
+  result.padded.write_csv(results_dir() + "/exp4_padded.csv");
+  return result;
+}
+
+}  // namespace wf::eval

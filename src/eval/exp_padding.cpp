@@ -1,0 +1,147 @@
+#include "eval/exp_padding.hpp"
+
+#include "trace/defense.hpp"
+
+namespace wf::eval {
+
+util::Table run_padding_experiment(WikiScenario& scenario) {
+  const ScenarioConfig& cfg = scenario.config();
+  const int classes = cfg.padding_classes;
+  util::Table table({"Setting", "Top-1", "Top-3", "Top-10"});
+
+  data::DatasetBuildOptions crawl;
+  crawl.samples_per_class = cfg.samples_per_class;
+  crawl.sequence = cfg.seq3;
+  crawl.browser = cfg.browser;
+  crawl.seed = cfg.crawl_seed;
+
+  util::log_info() << "padding: provisioning on unpadded traffic";
+  const data::CaptureCorpus corpus = data::collect_captures(
+      scenario.wiki_site(classes), scenario.wiki_farm(), {}, crawl);
+  const data::Dataset dataset = data::encode_corpus(corpus, cfg.seq3);
+  const data::SampleSplit split =
+      data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
+  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k);
+  attacker.provision(split.first);
+  attacker.initialize(split.first);
+
+  const auto add_row = [&](const char* name, const core::EvaluationResult& r) {
+    table.add_row({name, util::Table::pct(r.curve.top(1)), util::Table::pct(r.curve.top(3)),
+                   util::Table::pct(r.curve.top(10))});
+  };
+
+  // Fig. 12: classes seen in training, unpadded vs FL-padded.
+  add_row("seen, unpadded", attacker.evaluate(split.second, 10));
+  const trace::FixedLengthDefense defense = trace::FixedLengthDefense::fit(corpus.captures);
+  const data::Dataset padded = data::encode_corpus(corpus, cfg.seq3, &defense, 9);
+  const data::SampleSplit padded_split =
+      data::split_samples(padded, cfg.train_samples_per_class, cfg.split_seed);
+  core::AdaptiveFingerprinter fl_attacker = attacker;
+  fl_attacker.initialize(padded_split.first);
+  add_row("seen, FL padding", fl_attacker.evaluate(padded_split.second, 10));
+
+  // Fig. 13: classes never seen in training.
+  util::log_info() << "padding: unseen classes";
+  data::DatasetBuildOptions unseen_crawl = crawl;
+  unseen_crawl.seed = cfg.crawl_seed + 700'000;
+  const data::CaptureCorpus unseen_corpus = data::collect_captures(
+      scenario.fresh_site(classes, 7), scenario.wiki_farm(), {}, unseen_crawl);
+  const data::Dataset unseen_dataset = data::encode_corpus(unseen_corpus, cfg.seq3);
+  const data::SampleSplit unseen_split =
+      data::split_samples(unseen_dataset, cfg.train_samples_per_class, cfg.split_seed);
+  core::AdaptiveFingerprinter transfer = attacker;
+  transfer.initialize(unseen_split.first);
+  add_row("unseen, unpadded", transfer.evaluate(unseen_split.second, 10));
+
+  const trace::FixedLengthDefense unseen_defense =
+      trace::FixedLengthDefense::fit(unseen_corpus.captures);
+  const data::Dataset unseen_padded =
+      data::encode_corpus(unseen_corpus, cfg.seq3, &unseen_defense, 11);
+  const data::SampleSplit unseen_padded_split =
+      data::split_samples(unseen_padded, cfg.train_samples_per_class, cfg.split_seed);
+  transfer.initialize(unseen_padded_split.first);
+  add_row("unseen, FL padding", transfer.evaluate(unseen_padded_split.second, 10));
+
+  table.write_csv(results_dir() + "/padding_fl.csv");
+  return table;
+}
+
+util::Table run_defense_ablation(WikiScenario& scenario) {
+  const ScenarioConfig& cfg = scenario.config();
+  const int classes = cfg.padding_classes;
+  util::Table table({"Countermeasure", "Top-1", "Top-3", "BW overhead"});
+
+  data::DatasetBuildOptions crawl;
+  crawl.samples_per_class = cfg.samples_per_class;
+  crawl.sequence = cfg.seq3;
+  crawl.browser = cfg.browser;
+  crawl.seed = cfg.crawl_seed;
+
+  // Record padding needs TLS 1.3.
+  const netsim::Website& site = scenario.wiki_site(classes, /*tls13=*/true);
+  util::log_info() << "defense ablation: provisioning on unpadded TLS 1.3 traffic";
+  const data::CaptureCorpus plain = data::collect_captures(site, scenario.wiki_farm(), {}, crawl);
+  const data::Dataset plain_dataset = data::encode_corpus(plain, cfg.seq3);
+  const data::SampleSplit split =
+      data::split_samples(plain_dataset, cfg.train_samples_per_class, cfg.split_seed);
+  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k);
+  attacker.provision(split.first);
+  attacker.initialize(split.first);
+
+  std::uint64_t baseline_bytes = 0;
+  for (const auto& c : plain.captures) baseline_bytes += c.total_bytes();
+
+  const auto add_dataset_row = [&](const std::string& name, const data::Dataset& dataset,
+                                   double overhead) {
+    const data::SampleSplit s =
+        data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
+    const core::EvaluationResult r = attacker.evaluate(s.second, 5);
+    table.add_row({name, util::Table::pct(r.curve.top(1)), util::Table::pct(r.curve.top(3)),
+                   util::Table::pct(overhead, 0)});
+  };
+
+  add_dataset_row("none", plain_dataset, 0.0);
+
+  // TLS 1.3 record-padding policies.
+  struct Policy {
+    const char* name;
+    netsim::RecordPaddingPolicy policy;
+  };
+  for (const Policy& p :
+       {Policy{"record: random 0-255 B", {netsim::RecordPaddingPolicy::Kind::kRandom, 256}},
+        Policy{"record: pad-to-4096 B",
+               {netsim::RecordPaddingPolicy::Kind::kPadToMultiple, 4096}},
+        Policy{"record: fixed 16 KiB",
+               {netsim::RecordPaddingPolicy::Kind::kFixedRecord, 16384}}}) {
+    data::DatasetBuildOptions padded_crawl = crawl;
+    padded_crawl.browser.record_padding = p.policy;
+    const data::CaptureCorpus corpus =
+        data::collect_captures(site, scenario.wiki_farm(), {}, padded_crawl);
+    std::uint64_t bytes = 0;
+    for (const auto& c : corpus.captures) bytes += c.total_bytes();
+    add_dataset_row(p.name, data::encode_corpus(corpus, cfg.seq3),
+                    static_cast<double>(bytes) / static_cast<double>(baseline_bytes) - 1.0);
+  }
+
+  // Trace-level fixed-length padding.
+  const trace::FixedLengthDefense fl = trace::FixedLengthDefense::fit(plain.captures);
+  add_dataset_row("trace: fixed-length (site max)", data::encode_corpus(plain, cfg.seq3, &fl, 9),
+                  fl.bandwidth_overhead(plain.captures));
+
+  // Per-website anonymity sets of 6.
+  const trace::AnonymitySetDefense anon =
+      trace::AnonymitySetDefense::fit(plain.captures, plain.labels, 6);
+  util::Rng rng(13);
+  data::Dataset anon_dataset(cfg.seq3.feature_dim());
+  for (std::size_t i = 0; i < plain.captures.size(); ++i) {
+    const netsim::PacketCapture padded = anon.apply(plain.captures[i], plain.labels[i], rng);
+    anon_dataset.add({trace::encode_capture(padded, cfg.seq3), plain.labels[i]});
+  }
+  add_dataset_row("trace: anonymity sets of 6", anon_dataset,
+                  anon.bandwidth_overhead(plain.captures, plain.labels));
+
+  table.write_csv(results_dir() + "/defense_ablation.csv");
+  return table;
+}
+
+}  // namespace wf::eval

@@ -1,0 +1,62 @@
+#include "eval/exp_static.hpp"
+
+namespace wf::eval {
+
+util::Table run_exp1_static(WikiScenario& scenario) {
+  const ScenarioConfig& cfg = scenario.config();
+  util::Table table({"Classes", "TLS", "Top-1", "Top-3", "Top-5", "Top-10"});
+
+  data::DatasetBuildOptions crawl;
+  crawl.samples_per_class = cfg.samples_per_class;
+  crawl.sequence = cfg.seq3;
+  crawl.browser = cfg.browser;
+
+  // Crawl `site`, provision the attacker on the train half unless it is
+  // already trained, and evaluate on the held-out half.
+  const auto evaluate_site = [&](const netsim::Website& site, std::uint64_t crawl_seed,
+                                 core::AdaptiveFingerprinter& attacker,
+                                 bool provision) -> core::EvaluationResult {
+    data::DatasetBuildOptions options = crawl;
+    options.seed = crawl_seed;
+    const data::Dataset dataset = data::build_dataset(site, scenario.wiki_farm(), {}, options);
+    const data::SampleSplit split =
+        data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
+    if (provision) attacker.provision(split.first);
+    attacker.initialize(split.first);
+    return attacker.evaluate(split.second, 10);
+  };
+
+  const auto add_row = [&](int classes, const char* tls, const core::EvaluationResult& r) {
+    table.add_row({std::to_string(classes), tls, util::Table::pct(r.curve.top(1)),
+                   util::Table::pct(r.curve.top(3)), util::Table::pct(r.curve.top(5)),
+                   util::Table::pct(r.curve.top(10))});
+  };
+
+  for (const int classes : cfg.exp1_class_counts) {
+    util::log_info() << "exp1: " << classes << " classes (TLS 1.2)";
+    core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k);
+    add_row(classes, "1.2",
+            evaluate_site(scenario.wiki_site(classes),
+                          cfg.crawl_seed + static_cast<std::uint64_t>(classes), attacker,
+                          /*provision=*/true));
+  }
+
+  // Version shift: the Exp.-1 model meets the same site served over 1.3.
+  {
+    const int classes = cfg.exp1_shift_classes;
+    util::log_info() << "exp1: TLS 1.3 version shift at " << classes << " classes";
+    core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k);
+    evaluate_site(scenario.wiki_site(classes),
+                  cfg.crawl_seed + static_cast<std::uint64_t>(classes), attacker,
+                  /*provision=*/true);
+    add_row(classes, "1.3 (version shift)",
+            evaluate_site(scenario.wiki_site(classes, /*tls13=*/true),
+                          cfg.crawl_seed + 13'000 + static_cast<std::uint64_t>(classes), attacker,
+                          /*provision=*/false));
+  }
+
+  table.write_csv(results_dir() + "/exp1_static.csv");
+  return table;
+}
+
+}  // namespace wf::eval

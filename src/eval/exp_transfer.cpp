@@ -1,0 +1,66 @@
+#include "eval/exp_transfer.hpp"
+
+namespace wf::eval {
+
+Exp2Result run_exp2_transfer(WikiScenario& scenario) {
+  const ScenarioConfig& cfg = scenario.config();
+  Exp2Result result{
+      util::Table({"New classes", "Top-1", "Top-3", "Top-5", "Top-10"}),
+      util::Table({"New classes", "n for 90%", "n / classes"}),
+  };
+
+  data::DatasetBuildOptions crawl;
+  crawl.samples_per_class = cfg.samples_per_class;
+  crawl.sequence = cfg.seq3;
+  crawl.browser = cfg.browser;
+
+  // Provision once, on the training site only.
+  util::log_info() << "exp2: provisioning on " << cfg.transfer_train_classes << " classes";
+  crawl.seed = cfg.crawl_seed;
+  const data::Dataset train_dataset = data::build_dataset(
+      scenario.wiki_site(cfg.transfer_train_classes), scenario.wiki_farm(), {}, crawl);
+  const data::SampleSplit train_split =
+      data::split_samples(train_dataset, cfg.train_samples_per_class, cfg.split_seed);
+  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k);
+  attacker.provision(train_split.first);
+
+  for (const int classes : cfg.transfer_new_class_counts) {
+    util::log_info() << "exp2: " << classes << " unseen classes";
+    // A disjoint site: pages the model never saw during training.
+    data::DatasetBuildOptions options = crawl;
+    options.seed = cfg.crawl_seed + 500'000 + static_cast<std::uint64_t>(classes);
+    const data::Dataset dataset =
+        data::build_dataset(scenario.fresh_site(classes, static_cast<std::uint64_t>(classes)),
+                            scenario.wiki_farm(), {}, options);
+    const data::SampleSplit split =
+        data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
+    attacker.initialize(split.first);
+
+    const std::size_t max_n = std::min<std::size_t>(static_cast<std::size_t>(classes), 50);
+    const core::EvaluationResult eval = attacker.evaluate(split.second, max_n);
+    result.accuracy.add_row({std::to_string(classes), util::Table::pct(eval.curve.top(1)),
+                             util::Table::pct(eval.curve.top(3)),
+                             util::Table::pct(eval.curve.top(5)),
+                             util::Table::pct(eval.curve.top(10))});
+
+    // Table II: smallest n reaching 90% accuracy.
+    std::size_t n90 = 0;
+    for (std::size_t n = 1; n <= max_n; ++n) {
+      if (eval.curve.top(n) >= 0.9) {
+        n90 = n;
+        break;
+      }
+    }
+    result.table2.add_row(
+        {std::to_string(classes), n90 > 0 ? std::to_string(n90) : "> " + std::to_string(max_n),
+         n90 > 0
+             ? util::Table::pct(static_cast<double>(n90) / static_cast<double>(classes))
+             : "-"});
+  }
+
+  result.accuracy.write_csv(results_dir() + "/exp2_transfer.csv");
+  result.table2.write_csv(results_dir() + "/exp2_table2.csv");
+  return result;
+}
+
+}  // namespace wf::eval

@@ -1,0 +1,91 @@
+#include "eval/scenario.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace wf::eval {
+
+ScenarioConfig ScenarioConfig::standard() {
+  ScenarioConfig config;
+  config.seq3.n_sequences = 3;
+  config.seq2 = config.seq3;
+  config.seq2.n_sequences = 2;
+  config.embedding3.n_sequences = config.seq3.n_sequences;
+  config.embedding3.timesteps = config.seq3.timesteps;
+  config.embedding3.train_iterations = 1500;
+  config.embedding2 = config.embedding3;
+  config.embedding2.n_sequences = config.seq2.n_sequences;
+  return config;
+}
+
+ScenarioConfig ScenarioConfig::smoke() {
+  ScenarioConfig config = standard();
+  config.samples_per_class = 10;
+  config.train_samples_per_class = 8;
+  config.embedding3.train_iterations = 200;
+  config.embedding2.train_iterations = 200;
+  config.knn_k = 20;
+  config.exp1_class_counts = {8, 12};
+  config.exp1_shift_classes = 8;
+  config.transfer_train_classes = 8;
+  config.transfer_new_class_counts = {8};
+  config.crosssite_classes = 10;
+  config.distinguish_classes = 10;
+  config.padding_classes = 8;
+  config.cost_classes = 8;
+  return config;
+}
+
+WikiScenario::WikiScenario()
+    : WikiScenario(std::getenv("WF_SMOKE") != nullptr ? ScenarioConfig::smoke()
+                                                      : ScenarioConfig::standard()) {}
+
+WikiScenario::WikiScenario(ScenarioConfig config)
+    : config_(std::move(config)),
+      wiki_farm_(netsim::ServerFarm::for_wiki()),
+      github_farm_(netsim::ServerFarm::for_github()) {}
+
+const netsim::Website& WikiScenario::wiki_site(int n_pages, bool tls13) {
+  const std::string key = "wiki:" + std::to_string(n_pages) + (tls13 ? ":13" : ":12");
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  netsim::WikiSiteConfig site_config;
+  site_config.n_pages = n_pages;
+  site_config.seed = config_.site_seed;  // same seed: the 1.3 twin shares content
+  site_config.tls = tls13 ? netsim::TlsVersion::kTls13 : netsim::TlsVersion::kTls12;
+  return cache_.emplace(key, netsim::make_wiki_site(site_config)).first->second;
+}
+
+const netsim::Website& WikiScenario::fresh_site(int n_pages, std::uint64_t salt, bool tls13) {
+  const std::string key =
+      "fresh:" + std::to_string(n_pages) + ":" + std::to_string(salt) + (tls13 ? ":13" : ":12");
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  netsim::WikiSiteConfig site_config;
+  site_config.n_pages = n_pages;
+  site_config.seed = config_.site_seed ^ (0xabcdef12345678ull * (salt + 1));
+  site_config.tls = tls13 ? netsim::TlsVersion::kTls13 : netsim::TlsVersion::kTls12;
+  return cache_.emplace(key, netsim::make_wiki_site(site_config)).first->second;
+}
+
+const netsim::Website& WikiScenario::github_site(int n_pages) {
+  const std::string key = "github:" + std::to_string(n_pages);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  netsim::GithubSiteConfig site_config;
+  site_config.n_pages = n_pages;
+  site_config.seed = config_.site_seed + 77;
+  return cache_.emplace(key, netsim::make_github_site(site_config)).first->second;
+}
+
+data::Dataset label_range(const data::Dataset& dataset, int lo, int hi) {
+  return dataset.filter([lo, hi](int label) { return label >= lo && label < hi; });
+}
+
+std::string results_dir() {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  return "results";
+}
+
+}  // namespace wf::eval

@@ -1,0 +1,188 @@
+#include "netsim/browser.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wf::netsim {
+
+std::uint64_t PacketCapture::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const Record& r : records) total += r.wire_bytes;
+  return total;
+}
+
+std::uint64_t PacketCapture::bytes(Direction direction) const {
+  std::uint64_t total = 0;
+  for (const Record& r : records)
+    if (r.direction == direction) total += r.wire_bytes;
+  return total;
+}
+
+ServerFarm ServerFarm::for_wiki() {
+  ServerFarm farm;
+  farm.servers = {
+      {18.0, 3.0, 90.0},   // main article host
+      {24.0, 5.0, 120.0},  // upload/media host
+      {9.0, 2.0, 200.0},   // CDN edge
+  };
+  return farm;
+}
+
+ServerFarm ServerFarm::for_github() {
+  ServerFarm farm;
+  farm.servers = {
+      {28.0, 6.0, 110.0},  // main host
+      {12.0, 3.0, 220.0},  // assets CDN
+      {30.0, 8.0, 90.0},   // avatars
+      {32.0, 8.0, 140.0},  // raw content
+      {26.0, 5.0, 100.0},  // api
+  };
+  return farm;
+}
+
+namespace {
+
+// Per-record TLS framing overhead on the wire: 5-byte header plus MAC/IV
+// (1.2, CBC-era) or AEAD tag + content-type byte (1.3).
+std::uint32_t tls_overhead(TlsVersion tls) {
+  return tls == TlsVersion::kTls12 ? 29 : 22;
+}
+
+// Apply the record-padding policy to one application payload (TLS 1.3 only;
+// RFC 8446 §5.4). Returns the padded payload length.
+std::uint32_t pad_payload(std::uint32_t payload, const RecordPaddingPolicy& policy,
+                          util::Rng& rng) {
+  switch (policy.kind) {
+    case RecordPaddingPolicy::Kind::kNone:
+      return payload;
+    case RecordPaddingPolicy::Kind::kRandom:
+      return payload + static_cast<std::uint32_t>(rng.index(std::max<std::uint32_t>(1, policy.param)));
+    case RecordPaddingPolicy::Kind::kPadToMultiple: {
+      const std::uint32_t m = std::max<std::uint32_t>(1, policy.param);
+      return ((payload + m - 1) / m) * m;
+    }
+    case RecordPaddingPolicy::Kind::kFixedRecord:
+      return std::max(payload, policy.param);
+  }
+  return payload;
+}
+
+struct Emitter {
+  PacketCapture* capture;
+  TlsVersion tls;
+  const RecordPaddingPolicy* padding;
+  util::Rng* rng;
+
+  void emit(double time_ms, Direction direction, std::uint32_t payload, int server) {
+    std::uint32_t padded = payload;
+    if (tls == TlsVersion::kTls13) padded = pad_payload(payload, *padding, *rng);
+    Record record;
+    record.time_ms = time_ms;
+    record.direction = direction;
+    record.wire_bytes = padded + tls_overhead(tls);
+    record.server = server;
+    capture->records.push_back(record);
+  }
+};
+
+}  // namespace
+
+PacketCapture load_page(const Website& site, const ServerFarm& farm, int page_id,
+                        const BrowserConfig& config, util::Rng& rng) {
+  if (page_id < 0 || static_cast<std::size_t>(page_id) >= site.pages.size())
+    throw std::out_of_range("load_page: bad page id");
+  const Page& page = site.pages[static_cast<std::size_t>(page_id)];
+
+  PacketCapture capture;
+  capture.tls = site.tls;
+  Emitter emitter{&capture, site.tls, &config.record_padding, &rng};
+
+  // Collect the resources fetched by this load (with per-load noise).
+  struct Fetch {
+    int server;
+    std::uint32_t bytes;
+  };
+  std::vector<Fetch> fetches;
+  fetches.reserve(page.resources.size() + 1);
+  const std::size_t theme_end = 1 + static_cast<std::size_t>(site.theme_resources);
+  for (std::size_t i = 0; i < page.resources.size(); ++i) {
+    const Resource& r = page.resources[i];
+    // Shared theme resources are sometimes served from the browser cache
+    // and never hit the wire (the HTML document itself always does).
+    if (i >= 1 && i < theme_end && rng.bernoulli(config.cache_hit_prob)) continue;
+    double bytes = static_cast<double>(r.bytes);
+    const double jitter = r.dynamic ? config.size_jitter * 4.0 : config.size_jitter;
+    bytes *= 1.0 + rng.normal(0.0, jitter);
+    fetches.push_back({r.server, static_cast<std::uint32_t>(std::max(64.0, bytes))});
+  }
+  if (rng.bernoulli(config.extra_resource_prob)) {
+    // Transient third-party fetch: analytics beacon, ad, API poll.
+    fetches.push_back({static_cast<int>(rng.index(farm.size())),
+                       static_cast<std::uint32_t>(800 + rng.index(8'000))});
+  }
+
+  // Per-server connection state: the time its pipeline is next free.
+  const std::size_t n_servers = farm.size();
+  std::vector<double> free_at(n_servers, 0.0);
+  std::vector<bool> connected(n_servers, false);
+
+  const auto ensure_connection = [&](int server_idx) {
+    const std::size_t s = static_cast<std::size_t>(server_idx) % n_servers;
+    if (connected[s]) return;
+    connected[s] = true;
+    const Server& server = farm.server(server_idx);
+    double t = free_at[s] + rng.uniform(0.0, 1.5);  // connection stagger
+    // ClientHello.
+    emitter.emit(t, Direction::kOutgoing, 240 + static_cast<std::uint32_t>(rng.index(120)),
+                 server_idx);
+    t += server.latency_ms + rng.uniform(0.0, server.jitter_ms);
+    // ServerHello + certificate chain (larger over 1.2: no cert compression).
+    std::uint32_t hello = site.tls == TlsVersion::kTls12
+                              ? 3'400 + static_cast<std::uint32_t>(rng.index(900))
+                              : 2'300 + static_cast<std::uint32_t>(rng.index(600));
+    while (hello > 0) {
+      const std::uint32_t chunk = std::min(hello, config.max_record_payload);
+      emitter.emit(t, Direction::kIncoming, chunk, server_idx);
+      t += 0.05;
+      hello -= chunk;
+    }
+    // Client Finished (+ session ticket ack).
+    emitter.emit(t + 0.2, Direction::kOutgoing, 64 + static_cast<std::uint32_t>(rng.index(48)),
+                 server_idx);
+    free_at[s] = t + 0.4;
+  };
+
+  const double parallel =
+      static_cast<double>(std::max(1, config.parallel_connections));
+  for (const Fetch& fetch : fetches) {
+    const std::size_t s = static_cast<std::size_t>(fetch.server) % n_servers;
+    ensure_connection(fetch.server);
+    const Server& server = farm.server(fetch.server);
+
+    // HTTP request record.
+    double t = free_at[s];
+    emitter.emit(t, Direction::kOutgoing, 320 + static_cast<std::uint32_t>(rng.index(180)),
+                 fetch.server);
+    // First response byte after one RTT-ish latency.
+    t += server.latency_ms + rng.uniform(0.0, server.jitter_ms);
+
+    // Response split into TLS records, paced by server throughput.
+    const double ms_per_byte = 8.0 / (server.mbps * 1e6) * 1e3;
+    std::uint32_t remaining = fetch.bytes;
+    while (remaining > 0) {
+      const std::uint32_t chunk = std::min(remaining, config.max_record_payload);
+      t += static_cast<double>(chunk) * ms_per_byte;
+      emitter.emit(t, Direction::kIncoming, chunk, fetch.server);
+      remaining -= chunk;
+    }
+    // Pipelined connections overlap fetches: the next request on this
+    // server starts before this response fully drains.
+    free_at[s] += (t - free_at[s]) / parallel;
+  }
+
+  std::stable_sort(capture.records.begin(), capture.records.end(),
+                   [](const Record& a, const Record& b) { return a.time_ms < b.time_ms; });
+  return capture;
+}
+
+}  // namespace wf::netsim

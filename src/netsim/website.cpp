@@ -1,0 +1,156 @@
+#include "netsim/website.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace wf::netsim {
+
+namespace {
+
+// Log-normal-ish resource size in [lo, hi], biased towards the low end the
+// way real web objects are.
+std::uint32_t draw_size(util::Rng& rng, std::uint32_t lo, std::uint32_t hi) {
+  const double u = rng.uniform();
+  const double skewed = u * u;  // bias small
+  return lo + static_cast<std::uint32_t>(skewed * static_cast<double>(hi - lo));
+}
+
+std::vector<std::vector<int>> make_links(int n_pages, int links_per_page, util::Rng& rng) {
+  std::vector<std::vector<int>> links(static_cast<std::size_t>(n_pages));
+  for (int p = 0; p < n_pages; ++p) {
+    auto& out = links[static_cast<std::size_t>(p)];
+    // A ring edge keeps the graph connected; the rest are random.
+    out.push_back((p + 1) % n_pages);
+    while (static_cast<int>(out.size()) < std::min(links_per_page, n_pages - 1)) {
+      const int target = static_cast<int>(rng.index(static_cast<std::size_t>(n_pages)));
+      if (target == p) continue;
+      if (std::find(out.begin(), out.end(), target) != out.end()) continue;
+      out.push_back(target);
+    }
+    std::sort(out.begin(), out.end());
+  }
+  return links;
+}
+
+std::vector<Resource> make_theme(int count, int n_servers, util::Rng& rng) {
+  std::vector<Resource> theme;
+  theme.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Resource r;
+    r.server = (i == 0) ? 0 : static_cast<int>(rng.index(static_cast<std::size_t>(n_servers)));
+    r.bytes = draw_size(rng, 2'000, 80'000);  // CSS/JS bundles, fonts, logo
+    r.dynamic = false;
+    theme.push_back(r);
+  }
+  return theme;
+}
+
+void fill_page_content(Page& page, util::Rng& rng, int n_servers, int min_resources,
+                       int max_resources, std::uint32_t min_bytes, std::uint32_t max_bytes) {
+  const int n = static_cast<int>(rng.range(min_resources, max_resources));
+  for (int i = 0; i < n; ++i) {
+    Resource r;
+    // Content skews to the main host; media to the other servers.
+    r.server = rng.bernoulli(0.55)
+                   ? 0
+                   : static_cast<int>(rng.index(static_cast<std::size_t>(n_servers)));
+    r.bytes = draw_size(rng, min_bytes, max_bytes);
+    r.dynamic = rng.bernoulli(0.25);
+    page.resources.push_back(r);
+  }
+}
+
+}  // namespace
+
+Website make_wiki_site(const WikiSiteConfig& config) {
+  util::Rng rng(config.seed * 0x5851f42d4c957f2dull + 11);
+  Website site;
+  site.name = "wiki";
+  site.tls = config.tls;
+  site.n_servers = config.n_servers;
+  site.theme_resources = config.theme_resources;
+
+  const std::vector<Resource> theme = make_theme(config.theme_resources, config.n_servers, rng);
+
+  site.pages.resize(static_cast<std::size_t>(config.n_pages));
+  for (int p = 0; p < config.n_pages; ++p) {
+    Page& page = site.pages[static_cast<std::size_t>(p)];
+    page.id = p;
+    // The HTML document itself: per-page size, always from the main host.
+    Resource html;
+    html.server = 0;
+    html.bytes = draw_size(rng, 8'000, 120'000);
+    html.dynamic = true;
+    page.resources.push_back(html);
+    page.resources.insert(page.resources.end(), theme.begin(), theme.end());
+    fill_page_content(page, rng, config.n_servers, config.min_content_resources,
+                      config.max_content_resources, 1'000, 400'000);
+  }
+  site.links = make_links(config.n_pages, config.links_per_page, rng);
+  return site;
+}
+
+Website make_github_site(const GithubSiteConfig& config) {
+  util::Rng rng(config.seed * 0x2545f4914f6cdd1dull + 29);
+  Website site;
+  site.name = "github";
+  site.tls = config.tls;
+  site.n_servers = config.max_servers;
+  site.theme_resources = config.theme_resources;
+
+  const std::vector<Resource> theme = make_theme(config.theme_resources, 2, rng);
+
+  site.pages.resize(static_cast<std::size_t>(config.n_pages));
+  for (int p = 0; p < config.n_pages; ++p) {
+    Page& page = site.pages[static_cast<std::size_t>(p)];
+    page.id = p;
+    Resource html;
+    html.server = 0;
+    html.bytes = draw_size(rng, 20'000, 200'000);
+    html.dynamic = true;
+    page.resources.push_back(html);
+    page.resources.insert(page.resources.end(), theme.begin(), theme.end());
+    // Variable per-page server count: some pages touch avatars/raw/api
+    // hosts, others only the main pair.
+    const int page_servers = static_cast<int>(rng.range(config.min_servers, config.max_servers));
+    fill_page_content(page, rng, page_servers, config.min_content_resources,
+                      config.max_content_resources, 500, 250'000);
+  }
+  site.links = make_links(config.n_pages, config.links_per_page, rng);
+  return site;
+}
+
+void apply_content_drift(Website& site, double fraction, std::uint64_t seed) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ull + 3);
+  const std::size_t content_start = 1 + static_cast<std::size_t>(site.theme_resources);
+  for (Page& page : site.pages) {
+    // Article text edited: the HTML document's size shifts.
+    if (!page.resources.empty() && rng.bernoulli(fraction)) {
+      Resource& html = page.resources.front();
+      html.bytes = static_cast<std::uint32_t>(
+          std::max(2'000.0, static_cast<double>(html.bytes) * rng.uniform(0.6, 1.5)));
+    }
+    // Content resources (past HTML + theme) are replaced wholesale.
+    for (std::size_t i = content_start; i < page.resources.size(); ++i) {
+      if (!rng.bernoulli(fraction)) continue;
+      Resource& r = page.resources[i];
+      const double u = rng.uniform();
+      r.bytes = 1'000 + static_cast<std::uint32_t>(u * u * 399'000.0);
+      r.dynamic = rng.bernoulli(0.25);
+    }
+    // Occasionally a content resource is added or removed entirely.
+    if (rng.bernoulli(fraction * 0.5) && page.resources.size() > content_start + 1)
+      page.resources.pop_back();
+    if (rng.bernoulli(fraction * 0.5)) {
+      Resource r;
+      r.server = static_cast<int>(rng.index(static_cast<std::size_t>(site.n_servers)));
+      const double u = rng.uniform();
+      r.bytes = 1'000 + static_cast<std::uint32_t>(u * u * 399'000.0);
+      r.dynamic = rng.bernoulli(0.25);
+      page.resources.push_back(r);
+    }
+  }
+}
+
+}  // namespace wf::netsim

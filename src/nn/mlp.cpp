@@ -1,0 +1,141 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace wf::nn {
+
+Mlp::Mlp(const std::vector<std::size_t>& sizes, std::uint64_t seed) {
+  if (sizes.size() < 2) throw std::invalid_argument("Mlp: need at least input and output size");
+  util::Rng rng(seed);
+  layers_.reserve(sizes.size() - 1);
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    const std::size_t in = sizes[l], out = sizes[l + 1];
+    layer.w = Matrix(out, in);
+    layer.b.assign(out, 0.0f);
+    // He initialization for the ReLU stack.
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    for (std::size_t r = 0; r < out; ++r)
+      for (std::size_t c = 0; c < in; ++c)
+        layer.w(r, c) = static_cast<float>(rng.normal(0.0, scale));
+    layer.gw = Matrix(out, in);
+    layer.gb.assign(out, 0.0f);
+    layer.mw = Matrix(out, in);
+    layer.vw = Matrix(out, in);
+    layer.mb.assign(out, 0.0f);
+    layer.vb.assign(out, 0.0f);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::size_t Mlp::input_dim() const { return layers_.empty() ? 0 : layers_.front().w.cols(); }
+std::size_t Mlp::output_dim() const { return layers_.empty() ? 0 : layers_.back().w.rows(); }
+
+std::vector<float> Mlp::forward(std::span<const float> x) const {
+  Activations scratch;
+  return forward_cached(x, scratch);
+}
+
+std::vector<float> Mlp::forward_cached(std::span<const float> x, Activations& acts) const {
+  acts.post.assign(layers_.size(), {});
+  std::vector<float> cur(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const bool last = (l + 1 == layers_.size());
+    std::vector<float> next(layer.w.rows(), 0.0f);
+    for (std::size_t r = 0; r < layer.w.rows(); ++r) {
+      const float* wrow = layer.w.data() + r * layer.w.cols();
+      double acc = layer.b[r];
+      for (std::size_t c = 0; c < layer.w.cols(); ++c) acc += wrow[c] * cur[c];
+      const float a = static_cast<float>(acc);
+      next[r] = last ? a : (a > 0.0f ? a : 0.0f);
+    }
+    acts.post[l] = next;
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+void Mlp::backward(std::span<const float> x, const Activations& acts,
+                   std::span<const float> grad_output) {
+  std::vector<float> grad(grad_output.begin(), grad_output.end());
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    Layer& layer = layers_[li];
+    const bool last = (li + 1 == layers_.size());
+    // ReLU derivative on this layer's post-activation (linear for the head).
+    if (!last) {
+      const std::vector<float>& post = acts.post[li];
+      for (std::size_t r = 0; r < grad.size(); ++r)
+        if (post[r] <= 0.0f) grad[r] = 0.0f;
+    }
+    std::vector<float> first_input;
+    if (li == 0) first_input.assign(x.begin(), x.end());
+    const std::vector<float>& input = (li == 0) ? first_input : acts.post[li - 1];
+    std::vector<float> grad_in(layer.w.cols(), 0.0f);
+    for (std::size_t r = 0; r < layer.w.rows(); ++r) {
+      const float g = grad[r];
+      if (g == 0.0f) continue;
+      float* gwrow = layer.gw.data() + r * layer.gw.cols();
+      const float* wrow = layer.w.data() + r * layer.w.cols();
+      for (std::size_t c = 0; c < layer.w.cols(); ++c) {
+        gwrow[c] += g * input[c];
+        grad_in[c] += g * wrow[c];
+      }
+      layer.gb[r] += g;
+    }
+    grad = std::move(grad_in);
+  }
+  ++grad_samples_;
+}
+
+void Mlp::zero_grad() {
+  for (Layer& layer : layers_) {
+    layer.gw.fill(0.0f);
+    layer.gb.assign(layer.gb.size(), 0.0f);
+  }
+  grad_samples_ = 0;
+}
+
+void Mlp::adam_step(double learning_rate) {
+  if (grad_samples_ == 0) return;
+  constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+  ++adam_t_;
+  const double scale = 1.0 / static_cast<double>(grad_samples_);
+  const double bias1 = 1.0 - std::pow(kBeta1, adam_t_);
+  const double bias2 = 1.0 - std::pow(kBeta2, adam_t_);
+  for (Layer& layer : layers_) {
+    float* w = layer.w.data();
+    float* gw = layer.gw.data();
+    float* mw = layer.mw.data();
+    float* vw = layer.vw.data();
+    const std::size_t n = layer.w.rows() * layer.w.cols();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double g = gw[i] * scale;
+      mw[i] = static_cast<float>(kBeta1 * mw[i] + (1.0 - kBeta1) * g);
+      vw[i] = static_cast<float>(kBeta2 * vw[i] + (1.0 - kBeta2) * g * g);
+      const double mhat = mw[i] / bias1;
+      const double vhat = vw[i] / bias2;
+      w[i] -= static_cast<float>(learning_rate * mhat / (std::sqrt(vhat) + kEps));
+    }
+    for (std::size_t i = 0; i < layer.b.size(); ++i) {
+      const double g = layer.gb[i] * scale;
+      layer.mb[i] = static_cast<float>(kBeta1 * layer.mb[i] + (1.0 - kBeta1) * g);
+      layer.vb[i] = static_cast<float>(kBeta2 * layer.vb[i] + (1.0 - kBeta2) * g * g);
+      const double mhat = layer.mb[i] / bias1;
+      const double vhat = layer.vb[i] / bias2;
+      layer.b[i] -= static_cast<float>(learning_rate * mhat / (std::sqrt(vhat) + kEps));
+    }
+  }
+  zero_grad();
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const Layer& layer : layers_) n += layer.w.rows() * layer.w.cols() + layer.b.size();
+  return n;
+}
+
+}  // namespace wf::nn

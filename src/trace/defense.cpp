@@ -1,0 +1,133 @@
+#include "trace/defense.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace wf::trace {
+
+FixedLengthDefense FixedLengthDefense::fit(const std::vector<netsim::PacketCapture>& corpus) {
+  FixedLengthDefense defense;
+  for (const netsim::PacketCapture& capture : corpus) {
+    std::size_t in_count = 0, out_count = 0;
+    for (const netsim::Record& r : capture.records) {
+      defense.record_bytes_ = std::max(defense.record_bytes_, r.wire_bytes);
+      if (r.direction == netsim::Direction::kIncoming) ++in_count;
+      else ++out_count;
+    }
+    defense.incoming_records_ = std::max(defense.incoming_records_, in_count);
+    defense.outgoing_records_ = std::max(defense.outgoing_records_, out_count);
+  }
+  return defense;
+}
+
+netsim::PacketCapture FixedLengthDefense::apply(const netsim::PacketCapture& capture,
+                                                util::Rng& rng) const {
+  netsim::PacketCapture padded;
+  padded.tls = capture.tls;
+  padded.records.reserve(incoming_records_ + outgoing_records_);
+  std::size_t in_count = 0, out_count = 0;
+  double last_time = 0.0;
+  for (const netsim::Record& r : capture.records) {
+    netsim::Record p = r;
+    p.wire_bytes = std::max(p.wire_bytes, record_bytes_);
+    padded.records.push_back(p);
+    last_time = std::max(last_time, p.time_ms);
+    if (r.direction == netsim::Direction::kIncoming) ++in_count;
+    else ++out_count;
+  }
+  // Tail of dummy records up to the fixed per-direction counts, with mildly
+  // jittered timing so the tail is not trivially recognizable.
+  while (in_count < incoming_records_ || out_count < outgoing_records_) {
+    const bool send_in = in_count < incoming_records_ &&
+                         (out_count >= outgoing_records_ || rng.bernoulli(0.7));
+    last_time += rng.uniform(0.05, 1.2);
+    netsim::Record dummy;
+    dummy.time_ms = last_time;
+    dummy.direction = send_in ? netsim::Direction::kIncoming : netsim::Direction::kOutgoing;
+    dummy.wire_bytes = record_bytes_;
+    dummy.server = 0;
+    padded.records.push_back(dummy);
+    if (send_in) ++in_count;
+    else ++out_count;
+  }
+  return padded;
+}
+
+double FixedLengthDefense::bandwidth_overhead(
+    const std::vector<netsim::PacketCapture>& corpus) const {
+  std::uint64_t original = 0;
+  const std::uint64_t per_trace =
+      static_cast<std::uint64_t>(record_bytes_) * (incoming_records_ + outgoing_records_);
+  const std::uint64_t padded = per_trace * corpus.size();
+  for (const netsim::PacketCapture& capture : corpus) original += capture.total_bytes();
+  if (original == 0) return 0.0;
+  return static_cast<double>(padded) / static_cast<double>(original) - 1.0;
+}
+
+AnonymitySetDefense AnonymitySetDefense::fit(const std::vector<netsim::PacketCapture>& captures,
+                                             const std::vector<int>& labels, int set_size) {
+  if (captures.size() != labels.size())
+    throw std::invalid_argument("AnonymitySetDefense::fit: captures/labels size mismatch");
+  if (set_size < 1) throw std::invalid_argument("AnonymitySetDefense::fit: set_size < 1");
+
+  // Mean volume per class.
+  std::map<int, std::pair<double, std::size_t>> volume;
+  for (std::size_t i = 0; i < captures.size(); ++i) {
+    auto& [sum, count] = volume[labels[i]];
+    sum += static_cast<double>(captures[i].total_bytes());
+    ++count;
+  }
+  std::vector<std::pair<double, int>> ordered;  // (mean volume, label)
+  ordered.reserve(volume.size());
+  for (const auto& [label, acc] : volume)
+    ordered.emplace_back(acc.first / static_cast<double>(acc.second), label);
+  std::sort(ordered.begin(), ordered.end());
+
+  // Chunk volume-adjacent classes into sets: padding within a set of
+  // similarly sized pages is far cheaper than padding to the site maximum.
+  AnonymitySetDefense defense;
+  const std::size_t n_sets =
+      (ordered.size() + static_cast<std::size_t>(set_size) - 1) / static_cast<std::size_t>(set_size);
+  std::vector<std::vector<netsim::PacketCapture>> per_set(n_sets);
+  for (std::size_t rank = 0; rank < ordered.size(); ++rank)
+    defense.set_of_[ordered[rank].second] = static_cast<int>(rank / static_cast<std::size_t>(set_size));
+  for (std::size_t i = 0; i < captures.size(); ++i)
+    per_set[static_cast<std::size_t>(defense.set_of_.at(labels[i]))].push_back(captures[i]);
+  defense.defenses_.reserve(n_sets);
+  for (const auto& members : per_set)
+    defense.defenses_.push_back(FixedLengthDefense::fit(members));
+  return defense;
+}
+
+int AnonymitySetDefense::set_of(int label) const {
+  const auto it = set_of_.find(label);
+  return it == set_of_.end() ? -1 : it->second;
+}
+
+netsim::PacketCapture AnonymitySetDefense::apply(const netsim::PacketCapture& capture, int label,
+                                                 util::Rng& rng) const {
+  const int set = set_of(label);
+  if (set < 0) return capture;  // unknown page: defense cannot pad it
+  return defenses_[static_cast<std::size_t>(set)].apply(capture, rng);
+}
+
+double AnonymitySetDefense::bandwidth_overhead(const std::vector<netsim::PacketCapture>& captures,
+                                               const std::vector<int>& labels) const {
+  std::uint64_t original = 0, padded = 0;
+  for (std::size_t i = 0; i < captures.size(); ++i) {
+    original += captures[i].total_bytes();
+    const int set = set_of(labels[i]);
+    if (set < 0) {
+      padded += captures[i].total_bytes();
+      continue;
+    }
+    const FixedLengthDefense& d = defenses_[static_cast<std::size_t>(set)];
+    padded += static_cast<std::uint64_t>(d.record_bytes()) *
+              (d.incoming_records() + d.outgoing_records());
+  }
+  if (original == 0) return 0.0;
+  return static_cast<double>(padded) / static_cast<double>(original) - 1.0;
+}
+
+}  // namespace wf::trace

@@ -1,0 +1,46 @@
+#include "trace/sequence.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wf::trace {
+
+namespace {
+
+// Quantize then log-compress a wire size into (0, 1].
+float encode_size(std::uint32_t wire_bytes, std::uint32_t quantum) {
+  const std::uint32_t q = std::max<std::uint32_t>(1, quantum);
+  const std::uint64_t quantized = (static_cast<std::uint64_t>(wire_bytes) + q - 1) / q * q;
+  // 2^18 B comfortably exceeds the largest padded TLS record.
+  constexpr double kLogCap = 12.5;  // ~log1p(2^18)
+  const double v = std::log1p(static_cast<double>(quantized)) / kLogCap;
+  return static_cast<float>(v < 1.0 ? v : 1.0);
+}
+
+}  // namespace
+
+std::vector<float> encode_capture(const netsim::PacketCapture& capture,
+                                  const SequenceOptions& options) {
+  if (options.n_sequences != 2 && options.n_sequences != 3)
+    throw std::invalid_argument("encode_capture: n_sequences must be 2 or 3");
+  const std::size_t t = static_cast<std::size_t>(options.timesteps);
+  std::vector<float> features(options.feature_dim(), 0.0f);
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(options.n_sequences), 0);
+
+  for (const netsim::Record& record : capture.records) {
+    std::size_t seq;
+    if (record.direction == netsim::Direction::kOutgoing) {
+      seq = 0;
+    } else if (options.n_sequences == 2) {
+      seq = 1;
+    } else {
+      seq = record.server == 0 ? 1 : 2;  // main host vs everything else
+    }
+    if (cursor[seq] >= t) continue;
+    features[seq * t + cursor[seq]] = encode_size(record.wire_bytes, options.quantum);
+    ++cursor[seq];
+  }
+  return features;
+}
+
+}  // namespace wf::trace

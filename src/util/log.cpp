@@ -1,0 +1,15 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace wf::util {
+
+LogLine::~LogLine() {
+  if (moved_from_) return;
+  std::cerr << "[wf " << level_ << "] " << stream_.str() << "\n";
+}
+
+LogLine log_info() { return LogLine("info"); }
+LogLine log_warn() { return LogLine("warn"); }
+
+}  // namespace wf::util

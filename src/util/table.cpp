@@ -1,0 +1,90 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wf::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != columns_.size())
+    throw std::invalid_argument("Table::add_row: expected " + std::to_string(columns_.size()) +
+                                " cells, got " + std::to_string(row.size()));
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+std::string escape_csv(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+void Table::print(const std::string& title) const {
+  if (!title.empty()) std::cout << title << "\n";
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    std::cout << "  ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::cout << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 < row.size()) std::cout << "  ";
+    }
+    std::cout << "\n";
+  };
+
+  print_row(columns_);
+  std::size_t total = columns_.empty() ? 0 : 2 * (columns_.size() - 1);
+  for (const std::size_t w : widths) total += w;
+  std::cout << "  " << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::write_csv(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "wf: could not write " << path << "\n";
+    return;
+  }
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    out << escape_csv(columns_[c]) << (c + 1 < columns_.size() ? "," : "\n");
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << escape_csv(row[c]) << (c + 1 < row.size() ? "," : "\n");
+}
+
+std::string Table::pct(double fraction, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << fraction * 100.0 << "%";
+  return out.str();
+}
+
+std::string Table::num(double value, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << value;
+  return out.str();
+}
+
+}  // namespace wf::util

@@ -1,0 +1,36 @@
+#pragma once
+
+// Tiny assertion harness for the ctest suite: each test file is a
+// standalone binary; a failed CHECK prints the location and the binary
+// exits nonzero.
+#include <cmath>
+#include <iostream>
+
+namespace wf::test {
+inline int failures = 0;
+}
+
+#define CHECK(cond)                                                              \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::cerr << "CHECK failed at " << __FILE__ << ":" << __LINE__ << ": "     \
+                << #cond << "\n";                                                \
+      ++wf::test::failures;                                                      \
+    }                                                                            \
+  } while (0)
+
+#define CHECK_NEAR(a, b, tol)                                                    \
+  do {                                                                           \
+    const double _va = (a), _vb = (b);                                           \
+    if (!(std::fabs(_va - _vb) <= (tol))) {                                      \
+      std::cerr << "CHECK_NEAR failed at " << __FILE__ << ":" << __LINE__        \
+                << ": " << #a << " = " << _va << " vs " << #b << " = " << _vb    \
+                << " (tol " << (tol) << ")\n";                                   \
+      ++wf::test::failures;                                                      \
+    }                                                                            \
+  } while (0)
+
+#define TEST_MAIN_RESULT()                                                       \
+  (wf::test::failures == 0                                                       \
+       ? (std::cout << "OK\n", 0)                                                \
+       : (std::cerr << wf::test::failures << " check(s) failed\n", 1))

@@ -1,0 +1,74 @@
+// Dataset container semantics and PairGenerator contracts.
+#include "data/dataset.hpp"
+#include "data/pairs.hpp"
+
+#include "test_common.hpp"
+
+int main() {
+  using namespace wf;
+
+  data::Dataset dataset(3);
+  for (int c = 0; c < 4; ++c)
+    for (int s = 0; s < 5; ++s)
+      dataset.add({{static_cast<float>(c), static_cast<float>(s), 1.0f}, c * 10});
+
+  CHECK(dataset.size() == 20);
+  CHECK(dataset.feature_dim() == 3);
+  CHECK(dataset.classes() == std::vector<int>({0, 10, 20, 30}));
+  CHECK(dataset.n_classes() == 4);
+
+  const data::Dataset only20 = dataset.filter([](int l) { return l == 20; });
+  CHECK(only20.size() == 5);
+  CHECK(only20.classes() == std::vector<int>({20}));
+
+  const nn::Matrix m = dataset.to_matrix();
+  CHECK(m.rows() == 20 && m.cols() == 3);
+  CHECK(m(0, 0) == 0.0f && m(19, 0) == 3.0f);
+  CHECK(dataset.labels_of().size() == 20);
+
+  // Width mismatch is rejected.
+  bool threw = false;
+  try {
+    dataset.add({{1.0f}, 0});
+  } catch (const std::invalid_argument&) {
+    threw = true;
+  }
+  CHECK(threw);
+
+  // PairGenerator: positives share a label, negatives don't; deterministic.
+  data::PairGenerator gen(dataset, data::PairStrategy::kRandom, 77);
+  int positives = 0, negatives = 0;
+  for (int i = 0; i < 400; ++i) {
+    const data::SamplePair p = gen.next();
+    if (p.positive) {
+      CHECK(dataset[p.a].label == dataset[p.b].label);
+      CHECK(p.a != p.b);  // 5 samples per class: a distinct partner exists
+      ++positives;
+    } else {
+      CHECK(dataset[p.a].label != dataset[p.b].label);
+      ++negatives;
+    }
+  }
+  CHECK(positives == 200 && negatives == 200);
+
+  data::PairGenerator gen_a(dataset, data::PairStrategy::kRandom, 5);
+  data::PairGenerator gen_b(dataset, data::PairStrategy::kRandom, 5);
+  for (int i = 0; i < 50; ++i) {
+    const data::SamplePair pa = gen_a.next();
+    const data::SamplePair pb = gen_b.next();
+    CHECK(pa.a == pb.a && pa.b == pb.b && pa.positive == pb.positive);
+  }
+
+  // Hard-negative strategy still yields valid negatives, and triplets obey
+  // the anchor/positive/negative label contract.
+  data::PairGenerator hard(dataset, data::PairStrategy::kHardNegative, 8);
+  for (int i = 0; i < 200; ++i) {
+    const data::SamplePair p = hard.next();
+    if (!p.positive) CHECK(dataset[p.a].label != dataset[p.b].label);
+    const data::SampleTriplet t = hard.next_triplet();
+    CHECK(dataset[t.anchor].label == dataset[t.positive].label);
+    CHECK(dataset[t.anchor].label != dataset[t.negative].label);
+  }
+
+  return TEST_MAIN_RESULT();
+}

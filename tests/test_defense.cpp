@@ -1,0 +1,64 @@
+// Trace-level defenses: fixed-length padding uniformity and anonymity-set
+// cost structure.
+#include "trace/defense.hpp"
+
+#include "netsim/browser.hpp"
+#include "netsim/website.hpp"
+#include "test_common.hpp"
+
+int main() {
+  using namespace wf;
+
+  netsim::WikiSiteConfig site_config;
+  site_config.n_pages = 12;
+  site_config.seed = 3;
+  const netsim::Website site = netsim::make_wiki_site(site_config);
+  const netsim::ServerFarm farm = netsim::ServerFarm::for_wiki();
+
+  util::Rng rng(5);
+  std::vector<netsim::PacketCapture> corpus;
+  std::vector<int> labels;
+  for (int page = 0; page < site_config.n_pages; ++page) {
+    for (int s = 0; s < 4; ++s) {
+      corpus.push_back(netsim::load_page(site, farm, page, netsim::BrowserConfig{}, rng));
+      labels.push_back(page);
+    }
+  }
+
+  const trace::FixedLengthDefense fl = trace::FixedLengthDefense::fit(corpus);
+  CHECK(fl.record_bytes() > 0);
+  CHECK(fl.incoming_records() > 0 && fl.outgoing_records() > 0);
+
+  // After padding, every trace is identical in record count and per-record
+  // size, and never smaller than the original.
+  for (const netsim::PacketCapture& capture : corpus) {
+    const netsim::PacketCapture padded = fl.apply(capture, rng);
+    CHECK(padded.records.size() == fl.incoming_records() + fl.outgoing_records());
+    std::size_t in_count = 0;
+    for (const netsim::Record& r : padded.records) {
+      CHECK(r.wire_bytes == fl.record_bytes());
+      if (r.direction == netsim::Direction::kIncoming) ++in_count;
+    }
+    CHECK(in_count == fl.incoming_records());
+    CHECK(padded.total_bytes() >= capture.total_bytes());
+  }
+  CHECK(fl.bandwidth_overhead(corpus) > 0.0);
+
+  // Anonymity sets: labels partition into ceil(12/4) sets; padding within a
+  // set costs less than site-wide FL padding.
+  const trace::AnonymitySetDefense anon = trace::AnonymitySetDefense::fit(corpus, labels, 4);
+  CHECK(anon.n_sets() == 3);
+  for (int page = 0; page < site_config.n_pages; ++page) CHECK(anon.set_of(page) >= 0);
+  CHECK(anon.set_of(999) == -1);
+
+  const double anon_overhead = anon.bandwidth_overhead(corpus, labels);
+  CHECK(anon_overhead > 0.0);
+  CHECK(anon_overhead <= fl.bandwidth_overhead(corpus) + 1e-9);
+
+  // Applying the set defense keeps all members of one set identical in
+  // shape.
+  const netsim::PacketCapture p0 = anon.apply(corpus[0], labels[0], rng);
+  CHECK(p0.total_bytes() >= corpus[0].total_bytes());
+
+  return TEST_MAIN_RESULT();
+}

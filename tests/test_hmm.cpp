@@ -1,0 +1,61 @@
+// JourneyHmm: random walks follow the graph; Viterbi on a hand-built
+// 3-state chain corrects a noisy observation using the link prior.
+#include "baselines/hmm.hpp"
+
+#include <set>
+
+#include "test_common.hpp"
+
+namespace {
+
+// Emission helper: `votes` per state out of a 10-vote classifier.
+std::vector<wf::core::RankedLabel> emission(std::vector<std::pair<int, int>> votes) {
+  std::vector<wf::core::RankedLabel> out;
+  for (const auto& [label, v] : votes) out.push_back({label, v, 0.0});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wf;
+
+  // 3-state directed cycle: 0 -> 1 -> 2 -> 0.
+  const std::vector<std::vector<int>> links = {{1}, {2}, {0}};
+  const baselines::JourneyHmm hmm(links, /*self_loop=*/0.0, /*teleport=*/0.01);
+  CHECK(hmm.n_states() == 3);
+
+  // Random walks follow edges (modulo rare teleports, checked statistically).
+  util::Rng rng(21);
+  std::size_t edge_follows = 0, steps = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<int> walk = hmm.random_walk(0, 12, rng);
+    CHECK(walk.size() == 12);
+    CHECK(walk.front() == 0);
+    for (std::size_t t = 1; t < walk.size(); ++t) {
+      CHECK(walk[t] >= 0 && walk[t] < 3);
+      ++steps;
+      if (walk[t] == (walk[t - 1] + 1) % 3) ++edge_follows;
+    }
+  }
+  CHECK(static_cast<double>(edge_follows) / static_cast<double>(steps) > 0.9);
+
+  // Clean observations decode exactly.
+  const std::vector<std::vector<core::RankedLabel>> clean = {
+      emission({{0, 10}}), emission({{1, 10}}), emission({{2, 10}}), emission({{0, 10}})};
+  CHECK(hmm.viterbi(clean) == std::vector<int>({0, 1, 2, 0}));
+
+  // A confidently wrong middle observation (state 0 at time 1, impossible
+  // between 0 and 2 in this cycle) is overridden by the graph prior.
+  const std::vector<std::vector<core::RankedLabel>> noisy = {
+      emission({{0, 10}}),
+      emission({{0, 6}, {1, 4}}),  // classifier prefers 0, truth is 1
+      emission({{2, 10}}),
+      emission({{0, 10}})};
+  CHECK(hmm.viterbi(noisy) == std::vector<int>({0, 1, 2, 0}));
+
+  // Empty journey: empty path.
+  CHECK(hmm.viterbi({}).empty());
+
+  return TEST_MAIN_RESULT();
+}

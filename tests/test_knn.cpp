@@ -1,0 +1,63 @@
+// KnnClassifier ranking on a hand-built reference set.
+#include "core/knn.hpp"
+
+#include "test_common.hpp"
+
+int main() {
+  using namespace wf;
+
+  // Three classes clustered at distinct corners of the plane, 4 refs each.
+  core::ReferenceSet refs(2);
+  const auto add_cluster = [&](int label, float cx, float cy) {
+    const float offsets[4][2] = {{0.0f, 0.0f}, {0.05f, 0.0f}, {0.0f, 0.05f}, {-0.05f, -0.05f}};
+    for (const auto& o : offsets) {
+      const std::vector<float> e = {cx + o[0], cy + o[1]};
+      refs.add(e, label);
+    }
+  };
+  add_cluster(7, 0.0f, 0.0f);
+  add_cluster(8, 1.0f, 0.0f);
+  add_cluster(9, 0.0f, 1.0f);
+  CHECK(refs.size() == 12);
+  CHECK(refs.classes() == std::vector<int>({7, 8, 9}));
+
+  const core::KnnClassifier knn(4);
+  const std::vector<float> near7 = {0.02f, 0.01f};
+  const std::vector<core::RankedLabel> ranking = knn.rank(refs, near7);
+
+  // Full ranking over all classes; the local cluster takes all k votes.
+  CHECK(ranking.size() == 3);
+  CHECK(ranking.front().label == 7);
+  CHECK(ranking.front().votes == 4);
+  CHECK(ranking[1].votes == 0 && ranking[2].votes == 0);
+  // Zero-vote classes are ordered by nearest-reference distance: 8 and 9
+  // are symmetric here, so just check both appear.
+  CHECK((ranking[1].label == 8 && ranking[2].label == 9) ||
+        (ranking[1].label == 9 && ranking[2].label == 8));
+
+  // A query between clusters 8 and 9 but closer to 8.
+  const std::vector<float> between = {0.7f, 0.3f};
+  const std::vector<core::RankedLabel> r2 = knn.rank(refs, between);
+  CHECK(r2.front().label == 8);
+
+  // k larger than the reference set degrades gracefully.
+  const core::KnnClassifier big_k(1000);
+  const std::vector<core::RankedLabel> r3 = big_k.rank(refs, near7);
+  CHECK(r3.size() == 3);
+  int total_votes = 0;
+  for (const auto& r : r3) total_votes += r.votes;
+  CHECK(total_votes == 12);
+  CHECK(r3.front().label == 7);  // tie on votes broken by distance
+
+  // remove_class drops a class from future rankings.
+  refs.remove_class(8);
+  CHECK(refs.size() == 8);
+  const std::vector<core::RankedLabel> r4 = knn.rank(refs, between);
+  for (const auto& r : r4) CHECK(r.label != 8);
+
+  // Empty set: empty ranking, no crash.
+  const core::ReferenceSet empty(2);
+  CHECK(knn.rank(empty, near7).empty());
+
+  return TEST_MAIN_RESULT();
+}

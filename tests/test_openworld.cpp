@@ -1,0 +1,56 @@
+// OpenWorldDetector: calibration hits the target TPR on monitored samples
+// and rejects far-away unmonitored embeddings.
+#include "core/openworld.hpp"
+
+#include "test_common.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace wf;
+
+  util::Rng rng(3);
+  const std::size_t dim = 4;
+
+  // Monitored references: 5 tight clusters around distinct centers.
+  core::ReferenceSet refs(dim);
+  std::vector<std::vector<float>> centers;
+  for (int c = 0; c < 5; ++c) {
+    std::vector<float> center(dim);
+    for (auto& x : center) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    centers.push_back(center);
+    for (int s = 0; s < 10; ++s) {
+      std::vector<float> e = center;
+      for (auto& x : e) x += static_cast<float>(rng.normal(0.0, 0.05));
+      refs.add(e, c);
+    }
+  }
+
+  // Monitored eval samples: same clusters. Unmonitored: far away.
+  nn::Matrix monitored(50, dim), unmonitored(50, dim);
+  for (std::size_t i = 0; i < 50; ++i) {
+    std::vector<float> m = centers[i % 5];
+    for (auto& x : m) x += static_cast<float>(rng.normal(0.0, 0.05));
+    monitored.set_row(i, m);
+    std::vector<float> u(dim);
+    for (auto& x : u) x = static_cast<float>(rng.uniform(4.0, 6.0));
+    unmonitored.set_row(i, u);
+  }
+
+  core::OpenWorldDetector detector({.neighbour = 3, .target_tpr = 0.9});
+  detector.calibrate(refs, monitored);
+  CHECK(detector.threshold() > 0.0);
+
+  const core::OpenWorldMetrics m = detector.evaluate(refs, monitored, unmonitored);
+  // Calibration guarantee: at least the target TPR on the calibration set.
+  CHECK(m.true_positive_rate >= 0.9);
+  // The far-away open world must be rejected wholesale here.
+  CHECK(m.false_positive_rate < 0.05);
+  CHECK(m.precision > 0.9);
+
+  // A detector calibrated for higher TPR has a looser (>=) threshold.
+  core::OpenWorldDetector stricter({.neighbour = 3, .target_tpr = 0.5});
+  stricter.calibrate(refs, monitored);
+  CHECK(stricter.threshold() <= detector.threshold());
+
+  return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,74 @@
+// Rng reproducibility and distribution sanity (seeded, deterministic).
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "test_common.hpp"
+
+int main() {
+  using wf::util::Rng;
+
+  // Identical seeds => identical streams.
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) CHECK(a.next() == b.next());
+
+  // Different seeds diverge immediately.
+  Rng c(42), d(43);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff = any_diff || (c.next() != d.next());
+  CHECK(any_diff);
+
+  // uniform() stays in [0, 1) and fills the range.
+  Rng e(7);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = e.uniform();
+    CHECK(u >= 0.0 && u < 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  CHECK(lo < 0.01);
+  CHECK(hi > 0.99);
+  CHECK_NEAR(sum / n, 0.5, 0.02);
+
+  // index() respects bounds, range() is inclusive.
+  Rng f(9);
+  bool saw_min = false, saw_max = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t idx = f.index(10);
+    CHECK(idx < 10);
+    const std::int64_t r = f.range(-3, 3);
+    CHECK(r >= -3 && r <= 3);
+    saw_min = saw_min || r == -3;
+    saw_max = saw_max || r == 3;
+  }
+  CHECK(saw_min);
+  CHECK(saw_max);
+
+  // normal() moments.
+  Rng g(11);
+  double mean = 0.0, var = 0.0;
+  const int m = 50000;
+  std::vector<double> xs(m);
+  for (int i = 0; i < m; ++i) {
+    xs[i] = g.normal(2.0, 3.0);
+    mean += xs[i];
+  }
+  mean /= m;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= m;
+  CHECK_NEAR(mean, 2.0, 0.1);
+  CHECK_NEAR(std::sqrt(var), 3.0, 0.1);
+
+  // Forked streams are deterministic and independent of later parent use.
+  Rng p1(100), p2(100);
+  Rng f1 = p1.fork(5);
+  p2.next();  // perturbing the parent after forking must not matter...
+  Rng f2 = Rng(100).fork(5);
+  for (int i = 0; i < 100; ++i) CHECK(f1.next() == f2.next());
+
+  return TEST_MAIN_RESULT();
+}

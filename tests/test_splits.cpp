@@ -1,0 +1,65 @@
+// split_samples: per-class counts, disjointness and determinism.
+#include "data/splits.hpp"
+
+#include <set>
+
+#include "test_common.hpp"
+
+namespace {
+
+// Tag each sample with a unique feature value so identity survives the split.
+wf::data::Dataset make_dataset(int n_classes, int per_class) {
+  wf::data::Dataset dataset(2);
+  float tag = 0.0f;
+  for (int c = 0; c < n_classes; ++c)
+    for (int s = 0; s < per_class; ++s) dataset.add({{tag++, static_cast<float>(c)}, c});
+  return dataset;
+}
+
+std::set<float> tags_of(const wf::data::Dataset& dataset) {
+  std::set<float> tags;
+  for (std::size_t i = 0; i < dataset.size(); ++i) tags.insert(dataset[i].features[0]);
+  return tags;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wf;
+
+  const data::Dataset dataset = make_dataset(6, 10);
+  const data::SampleSplit split = data::split_samples(dataset, 7, 99);
+
+  // Sizes: 7 per class in first, 3 per class in second.
+  CHECK(split.first.size() == 6 * 7);
+  CHECK(split.second.size() == 6 * 3);
+  for (const int c : dataset.classes()) {
+    const auto count = [c](const data::Dataset& d) {
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < d.size(); ++i)
+        if (d[i].label == c) ++n;
+      return n;
+    };
+    CHECK(count(split.first) == 7);
+    CHECK(count(split.second) == 3);
+  }
+
+  // Disjoint: no sample appears on both sides, and together they cover all.
+  const std::set<float> first_tags = tags_of(split.first);
+  const std::set<float> second_tags = tags_of(split.second);
+  for (const float t : second_tags) CHECK(first_tags.find(t) == first_tags.end());
+  CHECK(first_tags.size() + second_tags.size() == dataset.size());
+
+  // Deterministic in the seed; different seeds shuffle differently.
+  const data::SampleSplit again = data::split_samples(dataset, 7, 99);
+  CHECK(tags_of(again.first) == first_tags);
+  const data::SampleSplit other = data::split_samples(dataset, 7, 100);
+  CHECK(tags_of(other.first) != first_tags);
+
+  // Requesting more than available puts everything in `first`.
+  const data::SampleSplit all = data::split_samples(dataset, 100, 1);
+  CHECK(all.first.size() == dataset.size());
+  CHECK(all.second.size() == 0);
+
+  return TEST_MAIN_RESULT();
+}

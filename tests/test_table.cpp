@@ -1,0 +1,43 @@
+// Table formatting and CSV output.
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "test_common.hpp"
+
+int main() {
+  using wf::util::Table;
+
+  CHECK(Table::pct(0.6123) == "61.2%");
+  CHECK(Table::pct(0.25, 0) == "25%");
+  CHECK(Table::num(3.14159, 2) == "3.14");
+  CHECK(Table::num(2.0, 0) == "2");
+
+  Table table({"A", "B"});
+  table.add_row({"x", "1"});
+  table.add_row({"y, z", "2"});
+  CHECK(table.n_rows() == 2);
+  CHECK(table.n_columns() == 2);
+
+  bool threw = false;
+  try {
+    table.add_row({"only-one-cell"});
+  } catch (const std::invalid_argument&) {
+    threw = true;
+  }
+  CHECK(threw);
+
+  const std::string path = "test_table_tmp.csv";
+  table.write_csv(path);
+  std::ifstream in(path);
+  CHECK(static_cast<bool>(in));
+  std::stringstream contents;
+  contents << in.rdbuf();
+  in.close();
+  std::remove(path.c_str());
+  CHECK(contents.str() == "A,B\nx,1\n\"y, z\",2\n");
+
+  return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,87 @@
+// Fig.-4 trace encoding: determinism, dimensionality, routing and
+// quantization.
+#include "trace/sequence.hpp"
+
+#include "test_common.hpp"
+
+namespace {
+
+wf::netsim::Record record(double t, wf::netsim::Direction dir, std::uint32_t bytes, int server) {
+  wf::netsim::Record r;
+  r.time_ms = t;
+  r.direction = dir;
+  r.wire_bytes = bytes;
+  r.server = server;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wf;
+  using netsim::Direction;
+
+  netsim::PacketCapture capture;
+  capture.records = {
+      record(0.0, Direction::kOutgoing, 300, 0),
+      record(1.0, Direction::kIncoming, 4000, 0),
+      record(2.0, Direction::kIncoming, 9000, 1),
+      record(3.0, Direction::kOutgoing, 350, 1),
+      record(4.0, Direction::kIncoming, 1200, 2),
+  };
+
+  trace::SequenceOptions seq3;
+  CHECK(seq3.feature_dim() ==
+        static_cast<std::size_t>(seq3.n_sequences) * static_cast<std::size_t>(seq3.timesteps));
+
+  const std::vector<float> f3 = trace::encode_capture(capture, seq3);
+  CHECK(f3.size() == seq3.feature_dim());
+  // Deterministic: same capture, same options, same features.
+  CHECK(f3 == trace::encode_capture(capture, seq3));
+
+  // Routing: 2 outgoing records in sequence 0, 1 incoming main-host record
+  // in sequence 1, 2 incoming other-host records in sequence 2.
+  const std::size_t t = static_cast<std::size_t>(seq3.timesteps);
+  CHECK(f3[0] > 0.0f && f3[1] > 0.0f && f3[2] == 0.0f);
+  CHECK(f3[t] > 0.0f && f3[t + 1] == 0.0f);
+  CHECK(f3[2 * t] > 0.0f && f3[2 * t + 1] > 0.0f && f3[2 * t + 2] == 0.0f);
+
+  // 2-sequence directional encoding merges all incoming records.
+  trace::SequenceOptions seq2 = seq3;
+  seq2.n_sequences = 2;
+  const std::vector<float> f2 = trace::encode_capture(capture, seq2);
+  CHECK(f2.size() == seq2.feature_dim());
+  CHECK(f2[t] > 0.0f && f2[t + 1] > 0.0f && f2[t + 2] > 0.0f && f2[t + 3] == 0.0f);
+
+  // Quantization: sizes within the same quantum bucket encode identically,
+  // different buckets differ.
+  // Ceil-quantization buckets with quantum 1024: (0,1024], (1024,2048], ...
+  netsim::PacketCapture a, b, c;
+  a.records = {record(0.0, Direction::kIncoming, 1001, 0)};
+  b.records = {record(0.0, Direction::kIncoming, 1000, 0)};
+  c.records = {record(0.0, Direction::kIncoming, 2500, 0)};
+  trace::SequenceOptions q;
+  q.quantum = 1024;
+  CHECK(trace::encode_capture(a, q) == trace::encode_capture(b, q));
+  CHECK(trace::encode_capture(a, q) != trace::encode_capture(c, q));
+
+  // quantum = 1 distinguishes nearby sizes.
+  trace::SequenceOptions fine;
+  fine.quantum = 1;
+  CHECK(trace::encode_capture(a, fine) != trace::encode_capture(b, fine));
+
+  // Larger records encode to larger values; everything stays in [0, 1].
+  const std::vector<float> fa = trace::encode_capture(a, q);
+  const std::vector<float> fc = trace::encode_capture(c, q);
+  const std::size_t in0 = static_cast<std::size_t>(q.timesteps);
+  CHECK(fc[in0] > fa[in0]);
+  for (const float v : f3) CHECK(v >= 0.0f && v <= 1.0f);
+
+  // Overflow beyond `timesteps` records per sequence is dropped, not UB.
+  netsim::PacketCapture big;
+  for (int i = 0; i < 500; ++i) big.records.push_back(record(i, Direction::kIncoming, 700, 0));
+  const std::vector<float> fbig = trace::encode_capture(big, seq3);
+  CHECK(fbig.size() == seq3.feature_dim());
+
+  return TEST_MAIN_RESULT();
+}
