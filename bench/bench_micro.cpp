@@ -1,8 +1,10 @@
 // Component micro-benchmarks (google-benchmark): simulator throughput,
 // Fig. 4 encoding, embedding forward pass, contrastive training step,
-// k-NN query, random-forest prediction and FL padding.
+// k-NN query (scalar and batched), random-forest prediction, FL padding
+// and the parallel crawler.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <memory>
 
 #include "baselines/features.hpp"
@@ -11,6 +13,7 @@
 #include "data/pairs.hpp"
 #include "eval/scenario.hpp"
 #include "trace/defense.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -122,6 +125,84 @@ void BM_KnnQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KnnQuery);
+
+// Synthetic unit-sphere reference set: the k-NN scaling benchmarks need
+// reference counts far beyond what the micro crawl produces.
+core::ReferenceSet synthetic_refs(std::size_t n, std::size_t dim, util::Rng& rng) {
+  core::ReferenceSet refs(dim);
+  std::vector<float> v(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    double norm = 0.0;
+    for (float& x : v) {
+      x = static_cast<float>(rng.normal());
+      norm += static_cast<double>(x) * x;
+    }
+    norm = std::sqrt(norm);
+    for (float& x : v) x = static_cast<float>(x / norm);
+    refs.add(v, static_cast<int>(i % 100));
+  }
+  return refs;
+}
+
+// Batched k-NN ranking at 1k/10k references (the ‖a‖²+‖b‖²−2a·b GEMM path).
+void BM_KnnQueryBatch(benchmark::State& state) {
+  util::Rng rng(17);
+  const std::size_t dim = 32;
+  const core::ReferenceSet refs =
+      synthetic_refs(static_cast<std::size_t>(state.range(0)), dim, rng);
+  const core::KnnClassifier knn(50);
+  nn::Matrix queries(256, dim);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    std::vector<float> v(dim);
+    double norm = 0.0;
+    for (float& x : v) {
+      x = static_cast<float>(rng.normal());
+      norm += static_cast<double>(x) * x;
+    }
+    norm = std::sqrt(norm);
+    for (float& x : v) x = static_cast<float>(x / norm);
+    queries.set_row(q, v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.rank_batch(refs, queries));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(queries.rows()));
+}
+BENCHMARK(BM_KnnQueryBatch)->Arg(1000)->Arg(10000);
+
+// Batched dataset embedding at 1k/10k samples (one GEMM per layer).
+void BM_EmbedDatasetBatch(benchmark::State& state) {
+  core::EmbeddingModel& model = micro_model();
+  util::Rng rng(19);
+  nn::Matrix batch(static_cast<std::size_t>(state.range(0)), model.config().input_dim());
+  for (std::size_t i = 0; i < batch.rows(); ++i)
+    for (std::size_t j = 0; j < batch.cols(); ++j)
+      batch(i, j) = static_cast<float>(rng.uniform(0.0, 2.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.embed(batch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.rows()));
+}
+BENCHMARK(BM_EmbedDatasetBatch)->Arg(1000)->Arg(10000);
+
+// Crawling with an explicit pool of 1 vs N threads (identical corpora).
+void BM_CollectCaptures(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  data::DatasetBuildOptions opt;
+  opt.samples_per_class = 12;
+  opt.seed = 99;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::collect_captures(wiki_site(), wiki_farm(), {}, opt, pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wiki_site().pages.size()) *
+                          opt.samples_per_class);
+}
+BENCHMARK(BM_CollectCaptures)
+    ->Arg(1)
+    ->Arg(static_cast<int>(util::ThreadPool::default_thread_count()));
 
 void BM_ForestPredict(benchmark::State& state) {
   static const auto fixture = [] {

@@ -55,6 +55,10 @@ class AdaptiveFingerprinter {
 
   std::vector<RankedLabel> fingerprint(std::span<const float> features) const;
 
+  // Batched fingerprinting: embed every trace with one GEMM per layer and
+  // rank all queries against the reference set in one sharded pass.
+  std::vector<std::vector<RankedLabel>> fingerprint_batch(const data::Dataset& traces) const;
+
   EvaluationResult evaluate(const data::Dataset& test, std::size_t max_n) const;
 
   // Fraction of probe loads of `label` classified correctly at top-1 —

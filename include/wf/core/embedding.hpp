@@ -21,6 +21,10 @@ struct TrainStats {
 // on the unit sphere in R^embedding_dim such that loads of the same page
 // land close together. Classification and adaptation then operate purely in
 // embedding space — the model itself never needs retraining.
+//
+// Training and the dataset-sized embed paths run batched: every optimizer
+// step forwards/backwards its whole pair batch through one GEMM per layer,
+// and embed(Matrix)/embed_dataset do the same for inference.
 class EmbeddingModel {
  public:
   explicit EmbeddingModel(const EmbeddingConfig& config = {});
@@ -37,13 +41,20 @@ class EmbeddingModel {
   const EmbeddingConfig& config() const { return config_; }
 
  private:
-  void train_contrastive_pair(std::span<const float> xa, std::span<const float> xb,
-                              bool positive, double& loss_acc, double& correct_acc);
-  void train_triplet(std::span<const float> xa, std::span<const float> xp,
-                     std::span<const float> xn, double& loss_acc, double& correct_acc);
+  // One batched optimizer step: rows of `x` hold the step's samples in pair
+  // (a0,b0,a1,b1,...) or triplet (a0,p0,n0,...) order.
+  void train_step_contrastive(const nn::Matrix& x, double& loss_acc, double& correct_acc);
+  void train_step_triplet(const nn::Matrix& x, double& loss_acc, double& correct_acc);
 
   EmbeddingConfig config_;
   nn::Mlp net_;
+  // Per-step training scratch, reused across the whole schedule.
+  nn::Mlp::BatchActivations train_acts_;
+  std::vector<unsigned char> pair_positive_;  // per-pair sign of the current step
+  nn::Matrix train_y_;                        // normalized embeddings
+  nn::Matrix train_grad_y_;                   // dLoss/d(normalized embedding)
+  nn::Matrix train_grad_raw_;                 // chained through the normalization
+  std::vector<double> train_raw_norms_;
 };
 
 }  // namespace wf::core

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/reference_set.hpp"
+#include "nn/matrix.hpp"
 
 namespace wf::core {
 
@@ -18,6 +19,11 @@ struct RankedLabel {
 // over every class in the reference set (voted classes first, the rest
 // ordered by nearest-reference distance) so top-n curves and per-class
 // guess counts are well defined for any n.
+//
+// Queries are batched: all query→reference distances come from one blocked
+// GEMM via ‖q‖² + ‖r‖² − 2·q·r with the reference norms cached in the
+// ReferenceSet, sharded across the thread pool. The scalar rank() runs the
+// same kernel on a single row.
 class KnnClassifier {
  public:
   explicit KnnClassifier(int k) : k_(k) {}
@@ -26,6 +32,10 @@ class KnnClassifier {
 
   std::vector<RankedLabel> rank(const ReferenceSet& references,
                                 std::span<const float> query) const;
+
+  // One ranking per row of `queries` (queries.cols() == references.dim()).
+  std::vector<std::vector<RankedLabel>> rank_batch(const ReferenceSet& references,
+                                                   const nn::Matrix& queries) const;
 
  private:
   int k_;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "core/reference_set.hpp"
 #include "nn/matrix.hpp"
@@ -21,7 +22,9 @@ struct OpenWorldMetrics {
 
 // Monitored-set membership test (§VI-C): a trace is "in world" when its
 // distance to the `neighbour`-th nearest reference embedding is below a
-// threshold calibrated for the target TPR on monitored samples.
+// threshold calibrated for the target TPR on monitored samples. Calibration
+// and evaluation run batched: one GEMM block per query shard, sharded
+// across the thread pool.
 class OpenWorldDetector {
  public:
   explicit OpenWorldDetector(const OpenWorldConfig& config) : config_(config) {}
@@ -29,6 +32,10 @@ class OpenWorldDetector {
   void calibrate(const ReferenceSet& references, const nn::Matrix& monitored_samples);
 
   bool is_monitored(const ReferenceSet& references, std::span<const float> embedding) const;
+
+  // k-th-neighbour distance for every row of `embeddings`.
+  std::vector<double> kth_distances(const ReferenceSet& references,
+                                    const nn::Matrix& embeddings) const;
 
   OpenWorldMetrics evaluate(const ReferenceSet& references, const nn::Matrix& monitored,
                             const nn::Matrix& unmonitored) const;

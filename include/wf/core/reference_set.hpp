@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <span>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "nn/matrix.hpp"
@@ -11,6 +12,11 @@ namespace wf::core {
 
 // Labeled embeddings the k-NN classifier votes over. Adaptation (§IV-C) is
 // a pure data operation here: swap a class's rows, never touch the model.
+//
+// Alongside the raw rows it maintains the batched-query side tables: a
+// contiguous class id per row (so per-class stats live in flat vectors, not
+// maps) and each row's cached squared norm (so query distances reduce to
+// ‖q‖² + ‖r‖² − 2·q·r on top of one GEMM).
 class ReferenceSet {
  public:
   ReferenceSet() = default;
@@ -21,6 +27,13 @@ class ReferenceSet {
       throw std::invalid_argument("ReferenceSet::add: embedding width mismatch");
     data_.insert(data_.end(), embedding.begin(), embedding.end());
     labels_.push_back(label);
+    double norm = 0.0;
+    for (const float v : embedding) norm += static_cast<double>(v) * v;
+    sq_norms_.push_back(norm);
+    const auto [it, inserted] =
+        label_to_id_.try_emplace(label, static_cast<int>(id_to_label_.size()));
+    if (inserted) id_to_label_.push_back(label);
+    class_ids_.push_back(it->second);
   }
 
   void add_all(const nn::Matrix& embeddings, const std::vector<int>& labels) {
@@ -39,11 +52,14 @@ class ReferenceSet {
                   data_.begin() + static_cast<std::ptrdiff_t>((read + 1) * dim_),
                   data_.begin() + static_cast<std::ptrdiff_t>(write * dim_));
         labels_[write] = labels_[read];
+        sq_norms_[write] = sq_norms_[read];
       }
       ++write;
     }
     labels_.resize(write);
     data_.resize(write * dim_);
+    sq_norms_.resize(write);
+    rebuild_class_ids();
   }
 
   std::size_t size() const { return labels_.size(); }
@@ -54,6 +70,17 @@ class ReferenceSet {
   int label(std::size_t i) const { return labels_[i]; }
   const std::vector<int>& labels() const { return labels_; }
 
+  // Raw row-major matrix view for the batched distance GEMM.
+  const float* data() const { return data_.data(); }
+  // Cached ‖r_i‖² per row.
+  const std::vector<double>& squared_norms() const { return sq_norms_; }
+
+  // Contiguous class-id view: class_id(i) indexes a dense [0, n_class_ids)
+  // range so per-class stats can live in flat vectors.
+  int class_id(std::size_t i) const { return class_ids_[i]; }
+  std::size_t n_class_ids() const { return id_to_label_.size(); }
+  int label_of_id(std::size_t id) const { return id_to_label_[id]; }
+
   std::vector<int> classes() const {
     std::vector<int> out = labels_;
     std::sort(out.begin(), out.end());
@@ -62,9 +89,25 @@ class ReferenceSet {
   }
 
  private:
+  void rebuild_class_ids() {
+    label_to_id_.clear();
+    id_to_label_.clear();
+    class_ids_.resize(labels_.size());
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+      const auto [it, inserted] =
+          label_to_id_.try_emplace(labels_[i], static_cast<int>(id_to_label_.size()));
+      if (inserted) id_to_label_.push_back(labels_[i]);
+      class_ids_[i] = it->second;
+    }
+  }
+
   std::size_t dim_ = 0;
   std::vector<float> data_;  // row-major, size() x dim_
   std::vector<int> labels_;
+  std::vector<double> sq_norms_;
+  std::vector<int> class_ids_;               // per row, dense in [0, n_class_ids)
+  std::vector<int> id_to_label_;             // dense id -> page label
+  std::unordered_map<int, int> label_to_id_;
 };
 
 }  // namespace wf::core

@@ -7,6 +7,7 @@
 #include "netsim/browser.hpp"
 #include "trace/defense.hpp"
 #include "trace/sequence.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wf::data {
 
@@ -26,10 +27,15 @@ struct DatasetBuildOptions {
   netsim::BrowserConfig browser;
 };
 
-// Crawl `samples_per_class` loads of each requested page ({} = every page).
+// Crawl `samples_per_class` loads of each requested page ({} = every page),
+// one pool task per page. The corpus layout and every trace byte are
+// independent of the pool size (each page has its own forked Rng stream).
 CaptureCorpus collect_captures(const netsim::Website& site, const netsim::ServerFarm& farm,
                                const std::vector<int>& pages,
                                const DatasetBuildOptions& options);
+CaptureCorpus collect_captures(const netsim::Website& site, const netsim::ServerFarm& farm,
+                               const std::vector<int>& pages,
+                               const DatasetBuildOptions& options, util::ThreadPool& pool);
 
 // Encode a corpus into features, optionally applying a fixed-length defense
 // (seeded independently) to every capture first.

@@ -1,9 +1,14 @@
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <span>
 #include <stdexcept>
 #include <vector>
+
+namespace wf::util {
+class ThreadPool;
+}
 
 namespace wf::nn {
 
@@ -20,10 +25,19 @@ class Matrix {
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
 
-  float& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
-  float operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  float& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_ && "Matrix::operator(): index out of range");
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_ && "Matrix::operator(): index out of range");
+    return data_[r * cols_ + c];
+  }
 
-  std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<float> row(std::size_t r) {
+    if (r >= rows_) throw std::out_of_range("Matrix::row");
+    return {data_.data() + r * cols_, cols_};
+  }
   std::span<const float> row_span(std::size_t r) const {
     if (r >= rows_) throw std::out_of_range("Matrix::row_span");
     return {data_.data() + r * cols_, cols_};
@@ -33,6 +47,13 @@ class Matrix {
     if (values.size() != cols_) throw std::invalid_argument("Matrix::set_row: width mismatch");
     float* dst = data_.data() + r * cols_;
     for (std::size_t c = 0; c < cols_; ++c) dst[c] = values[c];
+  }
+
+  // Reshape to rows x cols of zeros, reusing the existing allocation.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
   }
 
   float* data() { return data_.data(); }
@@ -46,6 +67,15 @@ class Matrix {
   std::vector<float> data_;
 };
 
+// Squared norm with double accumulation in index order — the one reduction
+// the cached-norm distance identity (‖a‖²+‖b‖²−2a·b) depends on; k-NN and
+// the open-world detector must share it exactly.
+inline double squared_norm(const float* v, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += static_cast<double>(v[i]) * v[i];
+  return acc;
+}
+
 // Squared Euclidean distance between two equally sized vectors.
 inline double squared_distance(std::span<const float> a, std::span<const float> b) {
   double acc = 0.0;
@@ -55,5 +85,31 @@ inline double squared_distance(std::span<const float> a, std::span<const float> 
   }
   return acc;
 }
+
+// Blocked GEMM kernels behind the batched hot paths. All of them compute
+// each output element with a fixed operation order that does not depend on
+// the thread count, so parallel and serial runs are bit-identical. Passing
+// pool = nullptr uses util::global_pool().
+
+// c = a · bᵀ (b stored row-major as n x k, i.e. one reference per row).
+// a: m x k, c: m x n. accumulate adds into c instead of overwriting.
+void matmul_transposed(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate = false,
+                       util::ThreadPool* pool = nullptr);
+Matrix matmul_transposed(const Matrix& a, const Matrix& b);
+
+// c = a · b. a: m x k, b: k x n, c: m x n.
+void matmul(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate = false,
+            util::ThreadPool* pool = nullptr);
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+// c += aᵀ · b (the weight-gradient shape). a: m x r, b: m x n, c: r x n.
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate = true,
+                 util::ThreadPool* pool = nullptr);
+
+// Serial raw-pointer core of matmul_transposed for callers that already run
+// inside a parallel region (k-NN shards, open-world shards): computes
+// dots[i * n + j] = <a_i, b_j> for a: m x k and b: n x k, both row-major.
+void gemm_nt_serial(const float* a, std::size_t m, const float* b, std::size_t n, std::size_t k,
+                    float* dots);
 
 }  // namespace wf::nn

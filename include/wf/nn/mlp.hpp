@@ -11,7 +11,8 @@ namespace wf::nn {
 // Fully connected network with ReLU hidden layers and a linear output,
 // trained by explicit backpropagation with an Adam optimizer. Sized for the
 // paper's Table-I embedding network (a few hundred inputs, 32-d output) —
-// no BLAS, no autograd, fully deterministic given the init seed.
+// no BLAS beyond the in-repo blocked GEMM, no autograd, fully deterministic
+// given the init seed and independent of the thread count.
 class Mlp {
  public:
   Mlp() = default;
@@ -24,6 +25,9 @@ class Mlp {
   // Plain inference.
   std::vector<float> forward(std::span<const float> x) const;
 
+  // Batched inference: one GEMM per layer over x (one sample per row).
+  Matrix forward_batch(const Matrix& x) const;
+
   // Per-sample activation cache for backprop: post[l] is the output of layer
   // l after its activation (post.back() is the network output).
   struct Activations {
@@ -31,9 +35,20 @@ class Mlp {
   };
   std::vector<float> forward_cached(std::span<const float> x, Activations& acts) const;
 
+  // Batched activation cache: post[l] holds one row per sample.
+  struct BatchActivations {
+    std::vector<Matrix> post;
+  };
+  const Matrix& forward_batch_cached(const Matrix& x, BatchActivations& acts) const;
+
   // Accumulate parameter gradients for one sample given dLoss/dOutput.
   void backward(std::span<const float> x, const Activations& acts,
                 std::span<const float> grad_output);
+
+  // Accumulate parameter gradients for a whole batch (one row per sample)
+  // via GEMMs; equivalent to calling backward() per row.
+  void backward_batch(const Matrix& x, const BatchActivations& acts,
+                      const Matrix& grad_output);
 
   void zero_grad();
   // Adam step on the averaged accumulated gradients, then clears them.
@@ -54,6 +69,10 @@ class Mlp {
   std::vector<Layer> layers_;
   int adam_t_ = 0;
   int grad_samples_ = 0;
+
+  // Scalar-backward scratch, reused across calls to avoid per-sample churn.
+  std::vector<float> bwd_grad_;
+  std::vector<float> bwd_grad_in_;
 };
 
 }  // namespace wf::nn

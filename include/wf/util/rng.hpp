@@ -58,7 +58,9 @@ class Rng {
   }
 
   // Derive an independent deterministic stream (e.g. one per page crawl).
-  Rng fork(std::uint64_t stream) {
+  // Reads but never advances this Rng, so concurrent forks are safe and the
+  // fork order does not matter.
+  Rng fork(std::uint64_t stream) const {
     Rng child(state_ ^ (0xd1342543de82ef95ull * (stream + 1)));
     child.next();
     return child;

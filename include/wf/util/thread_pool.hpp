@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wf::util {
+
+// Fixed-size worker pool shared by the batched hot paths (GEMM kernels,
+// k-NN ranking, the crawler). Modeled on tor's workqueue: a small,
+// dependency-free primitive the rest of the system leans on.
+//
+// Size resolution: an explicit count, else WF_THREADS, else
+// hardware_concurrency. A pool of size 1 spawns no threads and runs
+// everything inline, so WF_THREADS=1 is an exact serial execution. All
+// parallel_for users write disjoint outputs with a fixed per-element
+// operation order, so results are identical for every pool size.
+class ThreadPool {
+ public:
+  // n_threads == 0 resolves to default_thread_count(). The pool owns
+  // n_threads - 1 background workers; the calling thread participates in
+  // every parallel_for, so `size()` is the effective parallelism.
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }
+
+  // Run fn(i) for every i in [begin, end), sharded over the pool in chunks
+  // of at least `grain`. Blocks until the whole range is done and rethrows
+  // the first exception. Nested calls (from inside a worker) degrade to an
+  // inline serial loop, so kernels that parallelize internally stay safe to
+  // call from already-parallel regions.
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, Fn&& fn, std::size_t grain = 1) {
+    run_sharded(begin, end, grain,
+                [&fn](std::size_t lo, std::size_t hi) {
+                  for (std::size_t i = lo; i < hi; ++i) fn(i);
+                });
+  }
+
+  // Like parallel_for, but hands each task a whole [lo, hi) block so the
+  // body can run a blocked kernel (e.g. a GEMM tile) over it.
+  template <typename Fn>
+  void parallel_blocks(std::size_t begin, std::size_t end, std::size_t block, Fn&& fn) {
+    run_sharded(begin, end, block, std::forward<Fn>(fn));
+  }
+
+  // WF_THREADS when set (clamped to [1, 512]), else hardware_concurrency.
+  static std::size_t default_thread_count();
+
+ private:
+  struct ShardState {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+    std::size_t chunk = 1;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex mutex;
+    std::condition_variable done;
+    int pending = 0;  // enqueued runner tasks not yet finished
+  };
+
+  template <typename Body>
+  void run_sharded(std::size_t begin, std::size_t end, std::size_t grain, Body&& body) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    // Inline fast path first: serial pools and nested calls never pay for
+    // the type-erased wrapper below.
+    if (workers_.empty() || in_worker() || n <= grain) {
+      body(begin, end);
+      return;
+    }
+    const std::function<void(std::size_t, std::size_t)> fn = std::forward<Body>(body);
+    dispatch(begin, end, grain, fn);
+  }
+
+  void dispatch(std::size_t begin, std::size_t end, std::size_t grain,
+                const std::function<void(std::size_t, std::size_t)>& fn);
+  static void run_chunks(ShardState& state);
+  static bool& in_worker();
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  bool stop_ = false;
+};
+
+// Process-wide pool sized from WF_THREADS (read once, at first use).
+ThreadPool& global_pool();
+
+}  // namespace wf::util

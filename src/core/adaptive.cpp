@@ -24,6 +24,11 @@ std::vector<RankedLabel> AdaptiveFingerprinter::fingerprint(
   return knn_.rank(references_, embedding);
 }
 
+std::vector<std::vector<RankedLabel>> AdaptiveFingerprinter::fingerprint_batch(
+    const data::Dataset& traces) const {
+  return knn_.rank_batch(references_, model_.embed(traces.to_matrix()));
+}
+
 EvaluationResult AdaptiveFingerprinter::evaluate(const data::Dataset& test,
                                                  std::size_t max_n) const {
   util::Stopwatch watch;
@@ -31,8 +36,11 @@ EvaluationResult AdaptiveFingerprinter::evaluate(const data::Dataset& test,
   result.n_samples = test.size();
   if (test.empty()) return result;
   std::vector<double> hits(std::max<std::size_t>(1, max_n), 0.0);
+  // Embed the whole test set and rank every query in one batched pass; the
+  // hit aggregation stays serial and in sample order.
+  const std::vector<std::vector<RankedLabel>> rankings = fingerprint_batch(test);
   for (std::size_t i = 0; i < test.size(); ++i) {
-    const std::vector<RankedLabel> ranking = fingerprint(test[i].features);
+    const std::vector<RankedLabel>& ranking = rankings[i];
     for (std::size_t r = 0; r < ranking.size() && r < hits.size(); ++r) {
       if (ranking[r].label == test[i].label) {
         hits[r] += 1.0;
@@ -54,23 +62,22 @@ EvaluationResult AdaptiveFingerprinter::evaluate(const data::Dataset& test,
 
 double AdaptiveFingerprinter::probe_class_accuracy(int label, const data::Dataset& probe) const {
   if (probe.empty()) return 0.0;
-  std::size_t hits = 0, total = 0;
-  for (std::size_t i = 0; i < probe.size(); ++i) {
-    if (probe[i].label != label) continue;
-    ++total;
-    const std::vector<RankedLabel> ranking = fingerprint(probe[i].features);
+  const data::Dataset mine = probe.filter([label](int l) { return l == label; });
+  if (mine.empty()) return 0.0;
+  const std::vector<std::vector<RankedLabel>> rankings = fingerprint_batch(mine);
+  std::size_t hits = 0;
+  for (const std::vector<RankedLabel>& ranking : rankings)
     if (!ranking.empty() && ranking.front().label == label) ++hits;
-  }
-  if (total == 0) return 0.0;
-  return static_cast<double>(hits) / static_cast<double>(total);
+  return static_cast<double>(hits) / static_cast<double>(mine.size());
 }
 
 void AdaptiveFingerprinter::adapt_class(int label, const data::Dataset& fresh) {
   references_.remove_class(label);
-  for (std::size_t i = 0; i < fresh.size(); ++i) {
-    if (fresh[i].label != label) continue;
-    references_.add(model_.embed(fresh[i].features), label);
-  }
+  const data::Dataset mine = fresh.filter([label](int l) { return l == label; });
+  if (mine.empty()) return;
+  const nn::Matrix embeddings = model_.embed_dataset(mine);
+  for (std::size_t i = 0; i < embeddings.rows(); ++i)
+    references_.add(embeddings.row_span(i), label);
 }
 
 }  // namespace wf::core

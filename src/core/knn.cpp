@@ -1,50 +1,125 @@
 #include "core/knn.hpp"
 
 #include <algorithm>
-#include <map>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace wf::core {
+
+namespace {
+
+constexpr std::size_t kQueryBlock = 32;  // queries per GEMM tile / pool task
+
+// Reusable per-thread workspace: distance row, top-k heap and per-class
+// stats. Thread-local so concurrent shards never contend and the scalar
+// rank() allocates nothing in steady state.
+struct RankScratch {
+  std::vector<float> dots;
+  std::vector<std::pair<double, std::size_t>> heap;  // max-heap of the k best
+  std::vector<int> votes;                            // per class id
+  std::vector<double> best;                          // per class id
+};
+
+RankScratch& scratch() {
+  thread_local RankScratch s;
+  return s;
+}
+
+// Build the ranking for one query given its dot products against every
+// reference. Distances use the cached-norm identity; vote counting and the
+// full-set nearest-reference pass mirror the original linear-scan rank().
+void build_ranking(const ReferenceSet& refs, const float* dots, double query_norm, int k_cfg,
+                   std::vector<RankedLabel>& out) {
+  const std::size_t n = refs.size();
+  const std::size_t n_ids = refs.n_class_ids();
+  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(k_cfg), n);
+  const std::vector<double>& ref_norms = refs.squared_norms();
+
+  RankScratch& s = scratch();
+  s.heap.clear();
+  s.votes.assign(n_ids, 0);
+  s.best.assign(n_ids, 1e300);
+
+  // One pass: per-class nearest reference, plus the k smallest (dist, index)
+  // pairs in a bounded max-heap. Ties break on the reference index, exactly
+  // like a partial_sort over (dist, index) pairs.
+  const auto cmp = [](const std::pair<double, std::size_t>& a,
+                      const std::pair<double, std::size_t>& b) { return a < b; };
+  for (std::size_t j = 0; j < n; ++j) {
+    double dist = query_norm + ref_norms[j] - 2.0 * static_cast<double>(dots[j]);
+    if (dist < 0.0) dist = 0.0;
+    const int id = refs.class_id(j);
+    if (dist < s.best[static_cast<std::size_t>(id)]) s.best[static_cast<std::size_t>(id)] = dist;
+    const std::pair<double, std::size_t> entry{dist, j};
+    if (s.heap.size() < k) {
+      s.heap.push_back(entry);
+      std::push_heap(s.heap.begin(), s.heap.end(), cmp);
+    } else if (k > 0 && entry < s.heap.front()) {
+      std::pop_heap(s.heap.begin(), s.heap.end(), cmp);
+      s.heap.back() = entry;
+      std::push_heap(s.heap.begin(), s.heap.end(), cmp);
+    }
+  }
+  for (const auto& [dist, j] : s.heap)
+    ++s.votes[static_cast<std::size_t>(refs.class_id(j))];
+
+  out.clear();
+  out.reserve(n_ids);
+  for (std::size_t id = 0; id < n_ids; ++id)
+    out.push_back({refs.label_of_id(id), s.votes[id], s.best[id]});
+  std::sort(out.begin(), out.end(), [](const RankedLabel& a, const RankedLabel& b) {
+    if (a.votes != b.votes) return a.votes > b.votes;
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.label < b.label;
+  });
+}
+
+}  // namespace
 
 std::vector<RankedLabel> KnnClassifier::rank(const ReferenceSet& references,
                                              std::span<const float> query) const {
   const std::size_t n = references.size();
   if (n == 0) return {};
-
-  std::vector<std::pair<double, std::size_t>> distances;  // (squared dist, ref index)
-  distances.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    distances.emplace_back(nn::squared_distance(references.embedding(i), query), i);
-
-  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(k_), n);
-  std::partial_sort(distances.begin(), distances.begin() + static_cast<std::ptrdiff_t>(k),
-                    distances.end());
-
-  struct ClassStats {
-    int votes = 0;
-    double best = 1e300;  // nearest reference of this class (any rank)
-  };
-  std::map<int, ClassStats> stats;
-  for (std::size_t i = 0; i < k; ++i) {
-    ClassStats& s = stats[references.label(distances[i].second)];
-    ++s.votes;
-    s.best = std::min(s.best, distances[i].first);
-  }
-  // Classes outside the top k still need a rank: order them by their
-  // nearest reference overall.
-  for (std::size_t i = k; i < n; ++i) {
-    ClassStats& s = stats[references.label(distances[i].second)];
-    s.best = std::min(s.best, distances[i].first);
-  }
-
+  if (query.size() != references.dim())
+    throw std::invalid_argument("KnnClassifier::rank: query width mismatch");
+  RankScratch& s = scratch();
+  s.dots.resize(n);
+  nn::gemm_nt_serial(query.data(), 1, references.data(), n, references.dim(), s.dots.data());
   std::vector<RankedLabel> ranking;
-  ranking.reserve(stats.size());
-  for (const auto& [label, s] : stats) ranking.push_back({label, s.votes, s.best});
-  std::sort(ranking.begin(), ranking.end(), [](const RankedLabel& a, const RankedLabel& b) {
-    if (a.votes != b.votes) return a.votes > b.votes;
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.label < b.label;
-  });
+  build_ranking(references, s.dots.data(), nn::squared_norm(query.data(), query.size()), k_,
+                ranking);
   return ranking;
+}
+
+std::vector<std::vector<RankedLabel>> KnnClassifier::rank_batch(
+    const ReferenceSet& references, const nn::Matrix& queries) const {
+  const std::size_t m = queries.rows();
+  std::vector<std::vector<RankedLabel>> rankings(m);
+  const std::size_t n = references.size();
+  if (m == 0 || n == 0) return rankings;
+  if (queries.cols() != references.dim())
+    throw std::invalid_argument("KnnClassifier::rank_batch: query width mismatch");
+  const std::size_t dim = references.dim();
+
+  util::global_pool().parallel_blocks(0, m, kQueryBlock, [&](std::size_t lo, std::size_t hi) {
+    // The GEMM tile lives in the shard's thread-local scratch; build_ranking
+    // shares the same workspace, so compute the tile first, then rank from a
+    // row pointer it no longer resizes.
+    for (std::size_t t0 = lo; t0 < hi; t0 += kQueryBlock) {
+      const std::size_t t1 = std::min(hi, t0 + kQueryBlock);
+      RankScratch& s = scratch();
+      s.dots.resize((t1 - t0) * n);
+      nn::gemm_nt_serial(queries.data() + t0 * dim, t1 - t0, references.data(), n, dim,
+                         s.dots.data());
+      for (std::size_t q = t0; q < t1; ++q) {
+        const float* query = queries.data() + q * dim;
+        build_ranking(references, scratch().dots.data() + (q - t0) * n,
+                      nn::squared_norm(query, dim), k_, rankings[q]);
+      }
+    }
+  });
+  return rankings;
 }
 
 }  // namespace wf::core

@@ -5,31 +5,81 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/thread_pool.hpp"
+
 namespace wf::core {
+
+namespace {
+
+constexpr std::size_t kQueryBlock = 32;
+
+// k-th smallest squared distance from one query to the reference rows,
+// given the query's dot products against every reference.
+double kth_sq_distance(const ReferenceSet& refs, const float* dots, double qnorm,
+                       std::size_t k, std::vector<double>& scratch) {
+  const std::size_t n = refs.size();
+  const std::vector<double>& ref_norms = refs.squared_norms();
+  scratch.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double dist = qnorm + ref_norms[j] - 2.0 * static_cast<double>(dots[j]);
+    scratch[j] = dist < 0.0 ? 0.0 : dist;
+  }
+  std::nth_element(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(k),
+                   scratch.end());
+  return scratch[k];
+}
+
+}  // namespace
 
 double OpenWorldDetector::kth_distance(const ReferenceSet& references,
                                        std::span<const float> embedding) const {
   const std::size_t n = references.size();
   if (n == 0) return 1e300;
-  std::vector<double> distances;
-  distances.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    distances.push_back(nn::squared_distance(references.embedding(i), embedding));
-  const std::size_t k =
-      std::min<std::size_t>(std::max(1, config_.neighbour), n) - 1;
-  std::nth_element(distances.begin(), distances.begin() + static_cast<std::ptrdiff_t>(k),
-                   distances.end());
-  return std::sqrt(distances[k]);
+  thread_local std::vector<float> dots;
+  thread_local std::vector<double> dist_scratch;
+  dots.resize(n);
+  nn::gemm_nt_serial(embedding.data(), 1, references.data(), n, references.dim(), dots.data());
+  const std::size_t k = std::min<std::size_t>(std::max(1, config_.neighbour), n) - 1;
+  return std::sqrt(kth_sq_distance(references, dots.data(),
+                                   nn::squared_norm(embedding.data(), embedding.size()), k,
+                                   dist_scratch));
+}
+
+std::vector<double> OpenWorldDetector::kth_distances(const ReferenceSet& references,
+                                                     const nn::Matrix& embeddings) const {
+  const std::size_t m = embeddings.rows();
+  const std::size_t n = references.size();
+  std::vector<double> result(m, 1e300);
+  if (m == 0 || n == 0) return result;
+  if (embeddings.cols() != references.dim())
+    throw std::invalid_argument("OpenWorldDetector::kth_distances: width mismatch");
+  const std::size_t dim = references.dim();
+  const std::size_t k = std::min<std::size_t>(std::max(1, config_.neighbour), n) - 1;
+
+  util::global_pool().parallel_blocks(0, m, kQueryBlock, [&](std::size_t lo, std::size_t hi) {
+    thread_local std::vector<float> dots;
+    thread_local std::vector<double> dist_scratch;
+    for (std::size_t t0 = lo; t0 < hi; t0 += kQueryBlock) {
+      const std::size_t t1 = std::min(hi, t0 + kQueryBlock);
+      dots.resize((t1 - t0) * n);
+      nn::gemm_nt_serial(embeddings.data() + t0 * dim, t1 - t0, references.data(), n, dim,
+                         dots.data());
+      for (std::size_t q = t0; q < t1; ++q) {
+        const double qn = nn::squared_norm(embeddings.data() + q * dim, dim);
+        result[q] =
+            std::sqrt(kth_sq_distance(references, dots.data() + (q - t0) * n, qn, k,
+                                      dist_scratch));
+      }
+    }
+  });
+  return result;
 }
 
 void OpenWorldDetector::calibrate(const ReferenceSet& references,
                                   const nn::Matrix& monitored_samples) {
   if (monitored_samples.rows() == 0)
     throw std::invalid_argument("OpenWorldDetector::calibrate: no monitored samples");
-  std::vector<double> distances;
-  distances.reserve(monitored_samples.rows());
-  for (std::size_t i = 0; i < monitored_samples.rows(); ++i)
-    distances.push_back(kth_distance(references, monitored_samples.row_span(i)));
+  std::vector<double> distances = kth_distances(references, monitored_samples);
   std::sort(distances.begin(), distances.end());
   // Smallest threshold accepting at least target_tpr of the monitored set.
   const double tpr = std::clamp(config_.target_tpr, 0.0, 1.0);
@@ -51,10 +101,10 @@ OpenWorldMetrics OpenWorldDetector::evaluate(const ReferenceSet& references,
   OpenWorldMetrics metrics;
   metrics.threshold = threshold_;
   std::size_t tp = 0, fp = 0;
-  for (std::size_t i = 0; i < monitored.rows(); ++i)
-    if (is_monitored(references, monitored.row_span(i))) ++tp;
-  for (std::size_t i = 0; i < unmonitored.rows(); ++i)
-    if (is_monitored(references, unmonitored.row_span(i))) ++fp;
+  for (const double d : kth_distances(references, monitored))
+    if (d <= threshold_) ++tp;
+  for (const double d : kth_distances(references, unmonitored))
+    if (d <= threshold_) ++fp;
   if (monitored.rows() > 0)
     metrics.true_positive_rate = static_cast<double>(tp) / static_cast<double>(monitored.rows());
   if (unmonitored.rows() > 0)

@@ -2,43 +2,63 @@
 
 #include <numeric>
 
+#include "util/thread_pool.hpp"
+
 namespace wf::data {
 
 CaptureCorpus collect_captures(const netsim::Website& site, const netsim::ServerFarm& farm,
                                const std::vector<int>& pages,
-                               const DatasetBuildOptions& options) {
+                               const DatasetBuildOptions& options, util::ThreadPool& pool) {
   std::vector<int> targets = pages;
   if (targets.empty()) {
     targets.resize(site.pages.size());
     std::iota(targets.begin(), targets.end(), 0);
   }
+  const std::size_t per_page = static_cast<std::size_t>(options.samples_per_class);
   CaptureCorpus corpus;
-  corpus.captures.reserve(targets.size() * static_cast<std::size_t>(options.samples_per_class));
-  corpus.labels.reserve(corpus.captures.capacity());
-  util::Rng crawl_rng(options.seed);
-  for (const int page : targets) {
-    // Every page gets its own deterministic stream so crawling a subset of
-    // pages yields byte-identical traces to crawling the full site.
+  corpus.captures.resize(targets.size() * per_page);
+  corpus.labels.resize(corpus.captures.size());
+  const util::Rng crawl_rng(options.seed);
+  // One task per page. Every page gets its own deterministic stream forked
+  // off the crawl seed, and writes a fixed slot range, so the corpus is
+  // byte-identical for any thread count — and to crawling a page subset.
+  pool.parallel_for(0, targets.size(), [&](std::size_t pi) {
+    const int page = targets[pi];
     util::Rng page_rng = crawl_rng.fork(static_cast<std::uint64_t>(page));
-    for (int s = 0; s < options.samples_per_class; ++s) {
-      corpus.captures.push_back(netsim::load_page(site, farm, page, options.browser, page_rng));
-      corpus.labels.push_back(page);
+    for (std::size_t s = 0; s < per_page; ++s) {
+      const std::size_t slot = pi * per_page + s;
+      corpus.captures[slot] = netsim::load_page(site, farm, page, options.browser, page_rng);
+      corpus.labels[slot] = page;
     }
-  }
+  });
   return corpus;
+}
+
+CaptureCorpus collect_captures(const netsim::Website& site, const netsim::ServerFarm& farm,
+                               const std::vector<int>& pages,
+                               const DatasetBuildOptions& options) {
+  return collect_captures(site, farm, pages, options, util::global_pool());
 }
 
 Dataset encode_corpus(const CaptureCorpus& corpus, const trace::SequenceOptions& sequence,
                       const trace::FixedLengthDefense* defense, std::uint64_t defense_seed) {
   Dataset dataset(sequence.feature_dim());
+  if (defense == nullptr) {
+    // Encoding is pure per capture: encode in parallel, append in order.
+    std::vector<std::vector<float>> features(corpus.captures.size());
+    util::global_pool().parallel_for(0, corpus.captures.size(), [&](std::size_t i) {
+      features[i] = trace::encode_capture(corpus.captures[i], sequence);
+    });
+    for (std::size_t i = 0; i < corpus.captures.size(); ++i)
+      dataset.add({std::move(features[i]), corpus.labels[i]});
+    return dataset;
+  }
+  // The defense draws from one sequential stream; keep this path serial so
+  // padded corpora stay identical to previous releases.
   util::Rng defense_rng(defense_seed * 0x9e3779b97f4a7c15ull + 17);
   for (std::size_t i = 0; i < corpus.captures.size(); ++i) {
-    if (defense != nullptr) {
-      const netsim::PacketCapture padded = defense->apply(corpus.captures[i], defense_rng);
-      dataset.add({trace::encode_capture(padded, sequence), corpus.labels[i]});
-    } else {
-      dataset.add({trace::encode_capture(corpus.captures[i], sequence), corpus.labels[i]});
-    }
+    const netsim::PacketCapture padded = defense->apply(corpus.captures[i], defense_rng);
+    dataset.add({trace::encode_capture(padded, sequence), corpus.labels[i]});
   }
   return dataset;
 }

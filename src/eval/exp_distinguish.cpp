@@ -8,13 +8,15 @@ namespace wf::eval {
 
 namespace {
 
-// Mean rank of the true label per class, over a test set.
+// Mean rank of the true label per class, over a test set. Embedding and
+// ranking run through the batched pipeline; aggregation is sample-ordered.
 std::map<int, double> mean_guesses_per_class(const core::AdaptiveFingerprinter& attacker,
                                              const data::Dataset& test,
                                              std::size_t fallback_rank) {
   std::map<int, std::pair<double, std::size_t>> acc;  // label -> (sum, count)
+  const std::vector<std::vector<core::RankedLabel>> rankings = attacker.fingerprint_batch(test);
   for (std::size_t i = 0; i < test.size(); ++i) {
-    const std::vector<core::RankedLabel> ranking = attacker.fingerprint(test[i].features);
+    const std::vector<core::RankedLabel>& ranking = rankings[i];
     std::size_t rank = fallback_rank;
     for (std::size_t r = 0; r < ranking.size(); ++r) {
       if (ranking[r].label == test[i].label) {

@@ -1,0 +1,124 @@
+#include "nn/matrix.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace wf::nn {
+
+namespace {
+
+// Dot product with eight independent accumulator lanes. The lane structure
+// fixes the float summation order (so results are reproducible everywhere)
+// while letting the compiler vectorize the reduction.
+inline float dot_lanes(const float* a, const float* b, std::size_t k) {
+  float acc[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  const std::size_t k8 = k & ~static_cast<std::size_t>(7);
+  for (std::size_t i = 0; i < k8; i += 8)
+    for (std::size_t l = 0; l < 8; ++l) acc[l] += a[i + l] * b[i + l];
+  float tail = 0.0f;
+  for (std::size_t i = k8; i < k; ++i) tail += a[i] * b[i];
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) +
+         tail;
+}
+
+constexpr std::size_t kRowBlock = 32;   // rows of a per task
+constexpr std::size_t kColBlock = 128;  // rows of b kept hot in cache
+
+util::ThreadPool& pool_or_global(util::ThreadPool* pool) {
+  return pool != nullptr ? *pool : util::global_pool();
+}
+
+}  // namespace
+
+void gemm_nt_serial(const float* a, std::size_t m, const float* b, std::size_t n, std::size_t k,
+                    float* dots) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+    const std::size_t j1 = j0 + kColBlock < n ? j0 + kColBlock : n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* ai = a + i * k;
+      float* out = dots + i * n;
+      for (std::size_t j = j0; j < j1; ++j) out[j] = dot_lanes(ai, b + j * k, k);
+    }
+  }
+}
+
+void matmul_transposed(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate,
+                       util::ThreadPool* pool) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (b.cols() != k) throw std::invalid_argument("matmul_transposed: inner dim mismatch");
+  if (c.rows() != m || c.cols() != n)
+    throw std::invalid_argument("matmul_transposed: output shape mismatch");
+  pool_or_global(pool).parallel_blocks(0, m, kRowBlock, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+      const std::size_t j1 = j0 + kColBlock < n ? j0 + kColBlock : n;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const float* ai = a.data() + i * k;
+        float* out = c.data() + i * n;
+        for (std::size_t j = j0; j < j1; ++j) {
+          const float dot = dot_lanes(ai, b.data() + j * k, k);
+          out[j] = accumulate ? out[j] + dot : dot;
+        }
+      }
+    }
+  });
+}
+
+Matrix matmul_transposed(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  matmul_transposed(a, b, c);
+  return c;
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate,
+            util::ThreadPool* pool) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (b.rows() != k) throw std::invalid_argument("matmul: inner dim mismatch");
+  if (c.rows() != m || c.cols() != n) throw std::invalid_argument("matmul: output shape mismatch");
+  pool_or_global(pool).parallel_blocks(0, m, kRowBlock, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      float* out = c.data() + i * n;
+      if (!accumulate)
+        for (std::size_t j = 0; j < n; ++j) out[j] = 0.0f;
+      const float* ai = a.data() + i * k;
+      // axpy over rows of b: unit-stride inner loop, fixed order in l.
+      for (std::size_t l = 0; l < k; ++l) {
+        const float s = ai[l];
+        if (s == 0.0f) continue;
+        const float* bl = b.data() + l * n;
+        for (std::size_t j = 0; j < n; ++j) out[j] += s * bl[j];
+      }
+    }
+  });
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  matmul(a, b, c);
+  return c;
+}
+
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate,
+                 util::ThreadPool* pool) {
+  const std::size_t m = a.rows(), r = a.cols(), n = b.cols();
+  if (b.rows() != m) throw std::invalid_argument("matmul_at_b: inner dim mismatch");
+  if (c.rows() != r || c.cols() != n)
+    throw std::invalid_argument("matmul_at_b: output shape mismatch");
+  pool_or_global(pool).parallel_blocks(0, r, kRowBlock, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      float* out = c.data() + i * n;
+      if (!accumulate)
+        for (std::size_t j = 0; j < n; ++j) out[j] = 0.0f;
+      // Accumulate sample contributions in sample order: matches the
+      // per-sample backward exactly.
+      for (std::size_t s = 0; s < m; ++s) {
+        const float g = a(s, i);
+        if (g == 0.0f) continue;
+        const float* bs = b.data() + s * n;
+        for (std::size_t j = 0; j < n; ++j) out[j] += g * bs[j];
+      }
+    }
+  });
+}
+
+}  // namespace wf::nn

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wf::nn {
 
@@ -40,55 +41,125 @@ std::vector<float> Mlp::forward(std::span<const float> x) const {
 }
 
 std::vector<float> Mlp::forward_cached(std::span<const float> x, Activations& acts) const {
-  acts.post.assign(layers_.size(), {});
-  std::vector<float> cur(x.begin(), x.end());
+  acts.post.resize(layers_.size());
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const Layer& layer = layers_[l];
     const bool last = (l + 1 == layers_.size());
-    std::vector<float> next(layer.w.rows(), 0.0f);
+    const std::span<const float> in =
+        (l == 0) ? x : std::span<const float>(acts.post[l - 1]);
+    std::vector<float>& out = acts.post[l];
+    out.resize(layer.w.rows());
     for (std::size_t r = 0; r < layer.w.rows(); ++r) {
       const float* wrow = layer.w.data() + r * layer.w.cols();
       double acc = layer.b[r];
-      for (std::size_t c = 0; c < layer.w.cols(); ++c) acc += wrow[c] * cur[c];
+      for (std::size_t c = 0; c < layer.w.cols(); ++c) acc += wrow[c] * in[c];
       const float a = static_cast<float>(acc);
-      next[r] = last ? a : (a > 0.0f ? a : 0.0f);
+      out[r] = last ? a : (a > 0.0f ? a : 0.0f);
     }
-    acts.post[l] = next;
-    cur = std::move(next);
   }
-  return cur;
+  return acts.post.back();
+}
+
+Matrix Mlp::forward_batch(const Matrix& x) const {
+  BatchActivations scratch;
+  return forward_batch_cached(x, scratch);
+}
+
+const Matrix& Mlp::forward_batch_cached(const Matrix& x, BatchActivations& acts) const {
+  if (x.cols() != input_dim())
+    throw std::invalid_argument("Mlp::forward_batch: input width mismatch");
+  acts.post.resize(layers_.size());
+  const std::size_t m = x.rows();
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const bool last = (l + 1 == layers_.size());
+    const Matrix& in = (l == 0) ? x : acts.post[l - 1];
+    Matrix& out = acts.post[l];
+    const std::size_t width = layer.w.rows();
+    if (out.rows() != m || out.cols() != width) out.resize(m, width);
+    matmul_transposed(in, layer.w, out);
+    // Bias + activation epilogue, row-sharded.
+    util::global_pool().parallel_blocks(0, m, 256, [&](std::size_t lo, std::size_t hi) {
+      const float* bias = layer.b.data();
+      for (std::size_t s = lo; s < hi; ++s) {
+        float* row = out.data() + s * width;
+        for (std::size_t r = 0; r < width; ++r) {
+          const float a = row[r] + bias[r];
+          row[r] = last ? a : (a > 0.0f ? a : 0.0f);
+        }
+      }
+    });
+  }
+  return acts.post.back();
 }
 
 void Mlp::backward(std::span<const float> x, const Activations& acts,
                    std::span<const float> grad_output) {
-  std::vector<float> grad(grad_output.begin(), grad_output.end());
+  bwd_grad_.assign(grad_output.begin(), grad_output.end());
   for (std::size_t li = layers_.size(); li-- > 0;) {
     Layer& layer = layers_[li];
     const bool last = (li + 1 == layers_.size());
     // ReLU derivative on this layer's post-activation (linear for the head).
     if (!last) {
       const std::vector<float>& post = acts.post[li];
-      for (std::size_t r = 0; r < grad.size(); ++r)
-        if (post[r] <= 0.0f) grad[r] = 0.0f;
+      for (std::size_t r = 0; r < bwd_grad_.size(); ++r)
+        if (post[r] <= 0.0f) bwd_grad_[r] = 0.0f;
     }
-    std::vector<float> first_input;
-    if (li == 0) first_input.assign(x.begin(), x.end());
-    const std::vector<float>& input = (li == 0) ? first_input : acts.post[li - 1];
-    std::vector<float> grad_in(layer.w.cols(), 0.0f);
+    const std::span<const float> input =
+        (li == 0) ? x : std::span<const float>(acts.post[li - 1]);
+    bwd_grad_in_.assign(layer.w.cols(), 0.0f);
     for (std::size_t r = 0; r < layer.w.rows(); ++r) {
-      const float g = grad[r];
+      const float g = bwd_grad_[r];
       if (g == 0.0f) continue;
       float* gwrow = layer.gw.data() + r * layer.gw.cols();
       const float* wrow = layer.w.data() + r * layer.w.cols();
       for (std::size_t c = 0; c < layer.w.cols(); ++c) {
         gwrow[c] += g * input[c];
-        grad_in[c] += g * wrow[c];
+        bwd_grad_in_[c] += g * wrow[c];
       }
       layer.gb[r] += g;
     }
-    grad = std::move(grad_in);
+    std::swap(bwd_grad_, bwd_grad_in_);
   }
   ++grad_samples_;
+}
+
+void Mlp::backward_batch(const Matrix& x, const BatchActivations& acts,
+                         const Matrix& grad_output) {
+  const std::size_t m = x.rows();
+  if (grad_output.rows() != m || grad_output.cols() != output_dim())
+    throw std::invalid_argument("Mlp::backward_batch: grad shape mismatch");
+  Matrix grad = grad_output;
+  Matrix grad_in;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    Layer& layer = layers_[li];
+    const bool last = (li + 1 == layers_.size());
+    if (!last) {
+      const Matrix& post = acts.post[li];
+      util::global_pool().parallel_blocks(0, m, 256, [&](std::size_t lo, std::size_t hi) {
+        const std::size_t width = layer.w.rows();
+        for (std::size_t s = lo; s < hi; ++s) {
+          float* grow = grad.data() + s * width;
+          const float* prow = post.data() + s * width;
+          for (std::size_t r = 0; r < width; ++r)
+            if (prow[r] <= 0.0f) grow[r] = 0.0f;
+        }
+      });
+    }
+    const Matrix& input = (li == 0) ? x : acts.post[li - 1];
+    // gw += gradᵀ · input; gb += column sums of grad.
+    matmul_at_b(grad, input, layer.gw, /*accumulate=*/true);
+    for (std::size_t s = 0; s < m; ++s) {
+      const float* grow = grad.data() + s * layer.w.rows();
+      for (std::size_t r = 0; r < layer.w.rows(); ++r) layer.gb[r] += grow[r];
+    }
+    if (li > 0) {
+      grad_in.resize(m, layer.w.cols());
+      matmul(grad, layer.w, grad_in);
+      std::swap(grad, grad_in);
+    }
+  }
+  grad_samples_ += static_cast<int>(m);
 }
 
 void Mlp::zero_grad() {

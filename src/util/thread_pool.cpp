@@ -1,0 +1,107 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace wf::util {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) n_threads = default_thread_count();
+  workers_.reserve(n_threads - 1);
+  for (std::size_t i = 0; i + 1 < n_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("WF_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return std::min<std::size_t>(static_cast<std::size_t>(parsed), 512);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+bool& ThreadPool::in_worker() {
+  thread_local bool flag = false;
+  return flag;
+}
+
+void ThreadPool::worker_loop() {
+  in_worker() = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue before shutting down so pending shards complete.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run_chunks(ShardState& state) {
+  while (!state.failed.load(std::memory_order_relaxed)) {
+    const std::size_t lo = state.next.fetch_add(state.chunk, std::memory_order_relaxed);
+    if (lo >= state.end) break;
+    const std::size_t hi = std::min(state.end, lo + state.chunk);
+    try {
+      (*state.body)(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (!state.error) state.error = std::current_exception();
+      state.failed.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::dispatch(std::size_t begin, std::size_t end, std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t n = end - begin;
+  ShardState state;
+  state.next.store(begin);
+  state.end = end;
+  // Several chunks per executor so uneven work still balances.
+  state.chunk = std::max(grain, (n + 4 * size() - 1) / (4 * size()));
+  state.body = &fn;
+
+  const std::size_t n_chunks = (n + state.chunk - 1) / state.chunk;
+  const std::size_t runners = std::min(workers_.size(), n_chunks > 0 ? n_chunks - 1 : 0);
+  state.pending = static_cast<int>(runners);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (std::size_t r = 0; r < runners; ++r) {
+      queue_.push_back([&state] {
+        run_chunks(state);
+        std::lock_guard<std::mutex> state_lock(state.mutex);
+        if (--state.pending == 0) state.done.notify_all();
+      });
+    }
+  }
+  queue_cv_.notify_all();
+
+  run_chunks(state);  // the caller works too
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done.wait(lock, [&state] { return state.pending == 0; });
+  }
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace wf::util

@@ -1,0 +1,214 @@
+// Parallel/batched paths agree with their serial/scalar counterparts:
+//  - crawling with 1 vs N threads yields byte-identical corpora,
+//  - the GEMM kernels are bit-identical across pool sizes,
+//  - rank_batch agrees with a brute-force linear-scan ranking,
+//  - forward_batch / embed(Matrix) match the per-row scalar paths.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/embedding.hpp"
+#include "core/knn.hpp"
+#include "data/build.hpp"
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "test_common.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace wf;
+
+std::vector<float> random_unit(util::Rng& rng, std::size_t dim) {
+  std::vector<float> v(dim);
+  double norm = 0.0;
+  for (float& x : v) {
+    x = static_cast<float>(rng.normal());
+    norm += static_cast<double>(x) * x;
+  }
+  norm = std::sqrt(norm);
+  for (float& x : v) x = static_cast<float>(x / norm);
+  return v;
+}
+
+// Straightforward reimplementation of the ranking contract: linear scan
+// with double-precision distances, map-free but same vote/tie rules.
+std::vector<core::RankedLabel> brute_force_rank(const core::ReferenceSet& refs,
+                                                std::span<const float> query, int k_cfg) {
+  const std::size_t n = refs.size();
+  std::vector<std::pair<double, std::size_t>> distances;
+  distances.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    distances.emplace_back(nn::squared_distance(refs.embedding(i), query), i);
+  std::sort(distances.begin(), distances.end());
+  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(k_cfg), n);
+  struct Stats {
+    int votes = 0;
+    double best = 1e300;
+  };
+  std::map<int, Stats> stats;
+  for (std::size_t i = 0; i < n; ++i) {
+    Stats& s = stats[refs.label(distances[i].second)];
+    if (i < k) ++s.votes;
+    s.best = std::min(s.best, distances[i].first);
+  }
+  std::vector<core::RankedLabel> ranking;
+  for (const auto& [label, s] : stats) ranking.push_back({label, s.votes, s.best});
+  std::sort(ranking.begin(), ranking.end(),
+            [](const core::RankedLabel& a, const core::RankedLabel& b) {
+              if (a.votes != b.votes) return a.votes > b.votes;
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.label < b.label;
+            });
+  return ranking;
+}
+
+}  // namespace
+
+int main() {
+  // --- Crawl determinism: 1 thread vs N threads, byte-identical corpora.
+  {
+    netsim::WikiSiteConfig site_config;
+    site_config.n_pages = 12;
+    site_config.seed = 31;
+    const netsim::Website site = netsim::make_wiki_site(site_config);
+    const netsim::ServerFarm farm = netsim::ServerFarm::for_wiki();
+    data::DatasetBuildOptions options;
+    options.samples_per_class = 5;
+    options.seed = 77;
+
+    util::ThreadPool one(1), many(5);
+    const data::CaptureCorpus serial = data::collect_captures(site, farm, {}, options, one);
+    const data::CaptureCorpus parallel = data::collect_captures(site, farm, {}, options, many);
+    CHECK(serial.size() == parallel.size());
+    CHECK(serial.labels == parallel.labels);
+    bool identical = true;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const auto& a = serial.captures[i];
+      const auto& b = parallel.captures[i];
+      if (a.tls != b.tls || a.records.size() != b.records.size()) {
+        identical = false;
+        break;
+      }
+      for (std::size_t r = 0; r < a.records.size(); ++r) {
+        const auto& ra = a.records[r];
+        const auto& rb = b.records[r];
+        if (ra.time_ms != rb.time_ms || ra.direction != rb.direction ||
+            ra.wire_bytes != rb.wire_bytes || ra.server != rb.server) {
+          identical = false;
+          break;
+        }
+      }
+      if (!identical) break;
+    }
+    CHECK(identical);
+
+    // And the encoded datasets match exactly too.
+    trace::SequenceOptions seq;
+    const data::Dataset da = data::encode_corpus(serial, seq);
+    const data::Dataset db = data::encode_corpus(parallel, seq);
+    CHECK(da.size() == db.size());
+    bool features_equal = true;
+    for (std::size_t i = 0; i < da.size(); ++i)
+      features_equal = features_equal && (da[i].features == db[i].features);
+    CHECK(features_equal);
+  }
+
+  // --- GEMM kernels: bit-identical for any pool size.
+  {
+    util::Rng rng(5);
+    nn::Matrix a(37, 53), b(41, 53);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = static_cast<float>(rng.normal());
+    for (std::size_t i = 0; i < b.rows(); ++i)
+      for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) = static_cast<float>(rng.normal());
+    util::ThreadPool one(1), many(7);
+    nn::Matrix c1(a.rows(), b.rows()), cn(a.rows(), b.rows());
+    nn::matmul_transposed(a, b, c1, false, &one);
+    nn::matmul_transposed(a, b, cn, false, &many);
+    bool equal = true;
+    for (std::size_t i = 0; i < c1.rows(); ++i)
+      for (std::size_t j = 0; j < c1.cols(); ++j) equal = equal && (c1(i, j) == cn(i, j));
+    CHECK(equal);
+  }
+
+  // --- rank_batch vs brute-force scalar ranking on clustered random data.
+  {
+    util::Rng rng(11);
+    const std::size_t dim = 16;
+    core::ReferenceSet refs(dim);
+    for (int c = 0; c < 12; ++c) {
+      const std::vector<float> center = random_unit(rng, dim);
+      for (int s = 0; s < 25; ++s) {
+        std::vector<float> e = center;
+        for (float& x : e) x += static_cast<float>(rng.normal(0.0, 0.08));
+        refs.add(e, 100 + c);
+      }
+    }
+    const core::KnnClassifier knn(15);
+    nn::Matrix queries(40, dim);
+    for (std::size_t q = 0; q < queries.rows(); ++q) queries.set_row(q, random_unit(rng, dim));
+
+    const auto batch = knn.rank_batch(refs, queries);
+    CHECK(batch.size() == queries.rows());
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+      const auto expected = brute_force_rank(refs, queries.row_span(q), knn.k());
+      const auto& got = batch[q];
+      CHECK(got.size() == expected.size());
+      for (std::size_t r = 0; r < got.size() && r < expected.size(); ++r) {
+        CHECK(got[r].label == expected[r].label);
+        CHECK(got[r].votes == expected[r].votes);
+        CHECK_NEAR(got[r].distance, expected[r].distance, 1e-4);
+      }
+      // The scalar rank() is the same kernel on one row.
+      const auto single = knn.rank(refs, queries.row_span(q));
+      CHECK(single.size() == got.size());
+      for (std::size_t r = 0; r < single.size() && r < got.size(); ++r) {
+        CHECK(single[r].label == got[r].label);
+        CHECK(single[r].votes == got[r].votes);
+      }
+    }
+  }
+
+  // --- forward_batch matches per-row forward to 1e-5.
+  {
+    nn::Mlp mlp({24, 48, 16, 8}, 99);
+    util::Rng rng(21);
+    nn::Matrix x(33, 24);
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      for (std::size_t j = 0; j < x.cols(); ++j)
+        x(i, j) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const nn::Matrix batch = mlp.forward_batch(x);
+    CHECK(batch.rows() == x.rows());
+    CHECK(batch.cols() == 8);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      const std::vector<float> row = mlp.forward(x.row_span(i));
+      for (std::size_t j = 0; j < row.size(); ++j) CHECK_NEAR(batch(i, j), row[j], 1e-5);
+    }
+  }
+
+  // --- embed(Matrix) matches embed(span) per row to 1e-5.
+  {
+    core::EmbeddingConfig config;
+    config.n_sequences = 2;
+    config.timesteps = 16;
+    config.embedding_dim = 8;
+    config.hidden = {24};
+    const core::EmbeddingModel model(config);
+    util::Rng rng(8);
+    nn::Matrix batch(17, config.input_dim());
+    for (std::size_t i = 0; i < batch.rows(); ++i)
+      for (std::size_t j = 0; j < batch.cols(); ++j)
+        batch(i, j) = static_cast<float>(rng.uniform(0.0, 2.0));
+    const nn::Matrix out = model.embed(batch);
+    for (std::size_t i = 0; i < batch.rows(); ++i) {
+      const std::vector<float> row = model.embed(batch.row_span(i));
+      for (std::size_t j = 0; j < row.size(); ++j) CHECK_NEAR(out(i, j), row[j], 1e-5);
+    }
+  }
+
+  return TEST_MAIN_RESULT();
+}

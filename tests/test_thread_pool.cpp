@@ -1,0 +1,104 @@
+// ThreadPool: full coverage of the index range, exception propagation,
+// graceful nesting, WF_THREADS resolution, and clean drain on destruction.
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "test_common.hpp"
+
+int main() {
+  using wf::util::ThreadPool;
+
+  // Every index visited exactly once, results land in their own slots.
+  {
+    ThreadPool pool(4);
+    CHECK(pool.size() == 4);
+    const std::size_t n = 10'000;
+    std::vector<int> visits(n, 0);
+    pool.parallel_for(0, n, [&](std::size_t i) { ++visits[i]; });
+    bool all_once = true;
+    for (const int v : visits) all_once = all_once && (v == 1);
+    CHECK(all_once);
+  }
+
+  // A size-1 pool runs inline and serially.
+  {
+    ThreadPool serial(1);
+    CHECK(serial.size() == 1);
+    std::vector<std::size_t> order;
+    serial.parallel_for(0, 100, [&](std::size_t i) { order.push_back(i); });
+    CHECK(order.size() == 100);
+    bool in_order = true;
+    for (std::size_t i = 0; i < order.size(); ++i) in_order = in_order && (order[i] == i);
+    CHECK(in_order);
+  }
+
+  // parallel_blocks covers [begin, end) with disjoint blocks.
+  {
+    ThreadPool pool(3);
+    std::vector<int> visits(1000, 0);
+    pool.parallel_blocks(0, visits.size(), 64, [&](std::size_t lo, std::size_t hi) {
+      CHECK(lo < hi);
+      for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+    });
+    bool all_once = true;
+    for (const int v : visits) all_once = all_once && (v == 1);
+    CHECK(all_once);
+  }
+
+  // Exceptions propagate to the caller, and the pool stays usable after.
+  {
+    ThreadPool pool(4);
+    bool caught = false;
+    try {
+      pool.parallel_for(0, 1000, [](std::size_t i) {
+        if (i == 437) throw std::runtime_error("boom");
+      });
+    } catch (const std::runtime_error& e) {
+      caught = std::string(e.what()) == "boom";
+    }
+    CHECK(caught);
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 256, [&](std::size_t) { ++count; });
+    CHECK(count.load() == 256);
+  }
+
+  // Nested parallel_for must not deadlock (inner call runs inline).
+  {
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    pool.parallel_for(0, 8, [&](std::size_t) {
+      pool.parallel_for(0, 8, [&](std::size_t) { ++total; });
+    });
+    CHECK(total.load() == 64);
+  }
+
+  // Empty and single-element ranges.
+  {
+    ThreadPool pool(2);
+    int calls = 0;
+    pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+    CHECK(calls == 0);
+    pool.parallel_for(7, 8, [&](std::size_t i) { calls += static_cast<int>(i); });
+    CHECK(calls == 7);
+  }
+
+  // WF_THREADS resolves the default count; invalid values fall back.
+  {
+    setenv("WF_THREADS", "3", 1);
+    CHECK(ThreadPool::default_thread_count() == 3);
+    setenv("WF_THREADS", "0", 1);
+    CHECK(ThreadPool::default_thread_count() >= 1);
+    unsetenv("WF_THREADS");
+    CHECK(ThreadPool::default_thread_count() >= 1);
+  }
+
+  // Destruction drains pending shards (scoped pools above already exercise
+  // the join path; a fresh pool destroyed immediately must not hang).
+  { ThreadPool pool(8); }
+
+  return TEST_MAIN_RESULT();
+}
