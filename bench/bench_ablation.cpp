@@ -46,7 +46,7 @@ ArmResult run_arm(const AblationWorld& world, const trace::SequenceOptions& seq,
                   core::EmbeddingConfig econfig, data::PairStrategy strategy, int knn_k) {
   const data::Dataset dataset = data::encode_corpus(world.corpus, seq);
   const data::SampleSplit split = data::split_samples(dataset, 20, 5);
-  core::AdaptiveFingerprinter attacker(econfig, knn_k);
+  core::AdaptiveFingerprinter attacker(econfig, knn_k, world.cfg.knn_shards);
   util::Stopwatch watch;
   attacker.provision(split.first, strategy);
   ArmResult r;
@@ -149,7 +149,7 @@ int main() {
     auto in_world_test = wf::eval::label_range(split.second, 0, half);
     auto out_world_test = wf::eval::label_range(split.second, half, kClasses);
 
-    wf::core::AdaptiveFingerprinter attacker(base, world.cfg.knn_k);
+    wf::core::AdaptiveFingerprinter attacker(base, world.cfg.knn_k, world.cfg.knn_shards);
     attacker.provision(in_world_refs);
     attacker.initialize(in_world_refs);
 

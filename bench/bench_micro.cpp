@@ -126,22 +126,35 @@ void BM_KnnQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_KnnQuery);
 
-// Synthetic unit-sphere reference set: the k-NN scaling benchmarks need
-// reference counts far beyond what the micro crawl produces.
-core::ReferenceSet synthetic_refs(std::size_t n, std::size_t dim, util::Rng& rng) {
-  core::ReferenceSet refs(dim);
+std::vector<float> random_unit_row(util::Rng& rng, std::size_t dim) {
   std::vector<float> v(dim);
-  for (std::size_t i = 0; i < n; ++i) {
-    double norm = 0.0;
-    for (float& x : v) {
-      x = static_cast<float>(rng.normal());
-      norm += static_cast<double>(x) * x;
-    }
-    norm = std::sqrt(norm);
-    for (float& x : v) x = static_cast<float>(x / norm);
-    refs.add(v, static_cast<int>(i % 100));
+  double norm = 0.0;
+  for (float& x : v) {
+    x = static_cast<float>(rng.normal());
+    norm += static_cast<double>(x) * x;
   }
+  norm = std::sqrt(norm);
+  for (float& x : v) x = static_cast<float>(x / norm);
+  return v;
+}
+
+nn::Matrix random_unit_queries(std::size_t rows, std::size_t dim, util::Rng& rng) {
+  nn::Matrix queries(rows, dim);
+  for (std::size_t q = 0; q < rows; ++q) queries.set_row(q, random_unit_row(rng, dim));
+  return queries;
+}
+
+// Synthetic unit-sphere reference set (plain or sharded): the k-NN scaling
+// benchmarks need reference counts far beyond what the micro crawl produces.
+template <typename Store>
+Store synthetic_refs_into(Store refs, std::size_t n, std::size_t dim, util::Rng& rng) {
+  for (std::size_t i = 0; i < n; ++i)
+    refs.add(random_unit_row(rng, dim), static_cast<int>(i % 100));
   return refs;
+}
+
+core::ReferenceSet synthetic_refs(std::size_t n, std::size_t dim, util::Rng& rng) {
+  return synthetic_refs_into(core::ReferenceSet(dim), n, dim, rng);
 }
 
 // Batched k-NN ranking at 1k/10k references (the ‖a‖²+‖b‖²−2a·b GEMM path).
@@ -151,18 +164,7 @@ void BM_KnnQueryBatch(benchmark::State& state) {
   const core::ReferenceSet refs =
       synthetic_refs(static_cast<std::size_t>(state.range(0)), dim, rng);
   const core::KnnClassifier knn(50);
-  nn::Matrix queries(256, dim);
-  for (std::size_t q = 0; q < queries.rows(); ++q) {
-    std::vector<float> v(dim);
-    double norm = 0.0;
-    for (float& x : v) {
-      x = static_cast<float>(rng.normal());
-      norm += static_cast<double>(x) * x;
-    }
-    norm = std::sqrt(norm);
-    for (float& x : v) x = static_cast<float>(x / norm);
-    queries.set_row(q, v);
-  }
+  const nn::Matrix queries = random_unit_queries(256, dim, rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(knn.rank_batch(refs, queries));
   }
@@ -186,6 +188,59 @@ void BM_EmbedDatasetBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(batch.rows()));
 }
 BENCHMARK(BM_EmbedDatasetBatch)->Arg(1000)->Arg(10000);
+
+// Same synthetic rows, partitioned round-robin into `shards` shards.
+core::ShardedReferenceSet synthetic_sharded_refs(std::size_t n, std::size_t dim,
+                                                 std::size_t shards, util::Rng& rng) {
+  return synthetic_refs_into(core::ShardedReferenceSet(dim, shards), n, dim, rng);
+}
+
+// Sharded batched k-NN at 100k references (the §IV scaling step past one
+// pool): per-shard GEMM tiles + candidate heaps merged into the global
+// ranking. Per-shard work is an even split of the unsharded scan, so
+// throughput scales near-linearly with shard count once shards land on
+// their own cores; on a single core it measures the merge overhead.
+void BM_KnnQueryBatchSharded(benchmark::State& state) {
+  util::Rng rng(17);
+  const std::size_t dim = 32;
+  const core::ShardedReferenceSet refs = synthetic_sharded_refs(
+      static_cast<std::size_t>(state.range(0)), dim, static_cast<std::size_t>(state.range(1)),
+      rng);
+  const core::KnnClassifier knn(50);
+  const nn::Matrix queries = random_unit_queries(256, dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.rank_batch(refs, queries));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(queries.rows()));
+}
+BENCHMARK(BM_KnnQueryBatchSharded)
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({100000, 8});
+
+// Scalar sharded k-NN query at 100k references: one query fanned out as
+// per-shard scans over the pool — the latency-bound path a live deployment
+// runs per observed trace.
+void BM_KnnQueryScalarSharded(benchmark::State& state) {
+  util::Rng rng(17);
+  const std::size_t dim = 32;
+  const core::ShardedReferenceSet refs = synthetic_sharded_refs(
+      static_cast<std::size_t>(state.range(0)), dim, static_cast<std::size_t>(state.range(1)),
+      rng);
+  const core::KnnClassifier knn(50);
+  const std::vector<float> query = random_unit_row(rng, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.rank(refs, query));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KnnQueryScalarSharded)
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({100000, 8});
 
 // Crawling with an explicit pool of 1 vs N threads (identical corpora).
 void BM_CollectCaptures(benchmark::State& state) {

@@ -6,7 +6,7 @@
 
 #include "core/embedding.hpp"
 #include "core/knn.hpp"
-#include "core/reference_set.hpp"
+#include "core/sharded_reference_set.hpp"
 #include "data/splits.hpp"
 #include "trace/sequence.hpp"
 #include "util/rng.hpp"
@@ -46,7 +46,10 @@ struct EvaluationResult {
 //   adapt       — probe-and-swap reference refresh, *never* retraining
 class AdaptiveFingerprinter {
  public:
-  AdaptiveFingerprinter(const EmbeddingConfig& config, int knn_k);
+  // `n_shards` partitions the reference set for the sharded query paths;
+  // 0 resolves via ShardedReferenceSet::default_shard_count() (WF_SHARDS,
+  // else one shard per pool thread). Rankings are identical for any count.
+  AdaptiveFingerprinter(const EmbeddingConfig& config, int knn_k, std::size_t n_shards = 0);
 
   TrainStats provision(const data::Dataset& train,
                        data::PairStrategy strategy = data::PairStrategy::kRandom);
@@ -65,17 +68,19 @@ class AdaptiveFingerprinter {
   // the §IV-C health check deciding whether to refresh a class.
   double probe_class_accuracy(int label, const data::Dataset& probe) const;
 
-  // Replace the reference embeddings of `label` with fresh loads
-  // (embedding + swap only; the trained model is untouched).
+  // Replace the reference embeddings of `label` with fresh loads: a
+  // per-shard remove_class compaction plus round-robin re-adds (embedding +
+  // swap only; the trained model is untouched).
   void adapt_class(int label, const data::Dataset& fresh);
 
-  const ReferenceSet& references() const { return references_; }
+  const ShardedReferenceSet& references() const { return references_; }
   const EmbeddingModel& model() const { return model_; }
   const KnnClassifier& classifier() const { return knn_; }
 
  private:
   EmbeddingModel model_;
-  ReferenceSet references_;
+  std::size_t n_shards_;
+  ShardedReferenceSet references_;
   KnnClassifier knn_;
 };
 

@@ -16,25 +16,28 @@ struct RankedLabel {
 };
 
 // k-nearest-neighbour voting in embedding space. Produces a *total* ranking
-// over every class in the reference set (voted classes first, the rest
+// over every class in the reference store (voted classes first, the rest
 // ordered by nearest-reference distance) so top-n curves and per-class
 // guess counts are well defined for any n.
 //
-// Queries are batched: all query→reference distances come from one blocked
-// GEMM via ‖q‖² + ‖r‖² − 2·q·r with the reference norms cached in the
-// ReferenceSet, sharded across the thread pool. The scalar rank() runs the
-// same kernel on a single row.
+// Queries run shard-by-shard against any ReferenceStore: one blocked GEMM
+// tile per shard (distances via ‖q‖² + ‖r‖² − 2·q·r with the reference
+// norms cached per shard), a per-shard top-k candidate heap, and an exact
+// merge of the shard candidates into the global ranking — votes and
+// per-class nearest distances are identical to a single unsharded scan.
+// rank_batch shards query blocks across the thread pool; the scalar rank()
+// shards the reference scan itself across the pool.
 class KnnClassifier {
  public:
   explicit KnnClassifier(int k) : k_(k) {}
 
   int k() const { return k_; }
 
-  std::vector<RankedLabel> rank(const ReferenceSet& references,
+  std::vector<RankedLabel> rank(const ReferenceStore& references,
                                 std::span<const float> query) const;
 
   // One ranking per row of `queries` (queries.cols() == references.dim()).
-  std::vector<std::vector<RankedLabel>> rank_batch(const ReferenceSet& references,
+  std::vector<std::vector<RankedLabel>> rank_batch(const ReferenceStore& references,
                                                    const nn::Matrix& queries) const;
 
  private:

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/reference_store.hpp"
 #include "nn/matrix.hpp"
 
 namespace wf::core {
@@ -16,8 +17,10 @@ namespace wf::core {
 // Alongside the raw rows it maintains the batched-query side tables: a
 // contiguous class id per row (so per-class stats live in flat vectors, not
 // maps) and each row's cached squared norm (so query distances reduce to
-// ‖q‖² + ‖r‖² − 2·q·r on top of one GEMM).
-class ReferenceSet {
+// ‖q‖² + ‖r‖² − 2·q·r on top of one GEMM). As a ReferenceStore it is the
+// single-shard degenerate case: one view over the whole table, with the row
+// index doubling as the global tie-break id.
+class ReferenceSet : public ReferenceStore {
  public:
   ReferenceSet() = default;
   explicit ReferenceSet(std::size_t dim) : dim_(dim) {}
@@ -62,9 +65,14 @@ class ReferenceSet {
     rebuild_class_ids();
   }
 
-  std::size_t size() const { return labels_.size(); }
+  std::size_t size() const override { return labels_.size(); }
   bool empty() const { return labels_.empty(); }
-  std::size_t dim() const { return dim_; }
+  std::size_t dim() const override { return dim_; }
+
+  std::size_t shard_count() const override { return 1; }
+  ShardView shard_view(std::size_t) const override {
+    return {data_.data(), sq_norms_.data(), class_ids_.data(), nullptr, labels_.size()};
+  }
 
   std::span<const float> embedding(std::size_t i) const { return {data_.data() + i * dim_, dim_}; }
   int label(std::size_t i) const { return labels_[i]; }
@@ -78,8 +86,8 @@ class ReferenceSet {
   // Contiguous class-id view: class_id(i) indexes a dense [0, n_class_ids)
   // range so per-class stats can live in flat vectors.
   int class_id(std::size_t i) const { return class_ids_[i]; }
-  std::size_t n_class_ids() const { return id_to_label_.size(); }
-  int label_of_id(std::size_t id) const { return id_to_label_[id]; }
+  std::size_t n_class_ids() const override { return id_to_label_.size(); }
+  int label_of_id(std::size_t id) const override { return id_to_label_[id]; }
 
   std::vector<int> classes() const {
     std::vector<int> out = labels_;

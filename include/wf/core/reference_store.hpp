@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wf::core {
+
+// Read-only view of one shard's dense side tables, consumed by the k-NN and
+// open-world query kernels. `class_ids` indexes the *store-global* dense
+// class-id space so per-class stats merged across shards land in one flat
+// array. `row_ids` carries each row's global insertion number, the distance
+// tie-break key; nullptr means the local row index is already global
+// (single-shard stores).
+struct ShardView {
+  const float* data = nullptr;             // rows x dim, row-major
+  const double* sq_norms = nullptr;        // cached ‖r‖² per row
+  const int* class_ids = nullptr;          // dense global class id per row
+  const std::uint64_t* row_ids = nullptr;  // global tie-break id per row
+  std::size_t rows = 0;
+};
+
+// Shared interface of ReferenceSet (the S = 1 degenerate case) and
+// ShardedReferenceSet: the query kernels scan every shard independently and
+// merge per-shard candidates, without knowing the storage layout. The merge
+// contract is exact — votes, per-class nearest distances and k-th-neighbour
+// distances are identical to one linear scan over the union of all shards.
+class ReferenceStore {
+ public:
+  virtual ~ReferenceStore() = default;
+
+  virtual std::size_t dim() const = 0;
+  virtual std::size_t size() const = 0;  // rows across all shards
+  virtual std::size_t shard_count() const = 0;
+  virtual ShardView shard_view(std::size_t shard) const = 0;
+
+  // Dense global class-id space shared by every shard's class_ids table.
+  virtual std::size_t n_class_ids() const = 0;
+  virtual int label_of_id(std::size_t id) const = 0;
+};
+
+}  // namespace wf::core

@@ -24,6 +24,10 @@ struct ScenarioConfig {
   core::EmbeddingConfig embedding3;
   core::EmbeddingConfig embedding2;
   int knn_k = 40;
+  // Reference-set shards for the k-NN/open-world query paths; 0 resolves
+  // via WF_SHARDS, else one shard per pool thread. Results are identical
+  // for any shard count, so this is purely a throughput knob.
+  std::size_t knn_shards = 0;
   int samples_per_class = 25;
   int train_samples_per_class = 20;
 

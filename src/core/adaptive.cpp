@@ -4,8 +4,12 @@
 
 namespace wf::core {
 
-AdaptiveFingerprinter::AdaptiveFingerprinter(const EmbeddingConfig& config, int knn_k)
-    : model_(config), references_(config.embedding_dim), knn_(knn_k) {}
+AdaptiveFingerprinter::AdaptiveFingerprinter(const EmbeddingConfig& config, int knn_k,
+                                             std::size_t n_shards)
+    : model_(config),
+      n_shards_(n_shards == 0 ? ShardedReferenceSet::default_shard_count() : n_shards),
+      references_(config.embedding_dim, n_shards_),
+      knn_(knn_k) {}
 
 TrainStats AdaptiveFingerprinter::provision(const data::Dataset& train,
                                             data::PairStrategy strategy) {
@@ -14,7 +18,7 @@ TrainStats AdaptiveFingerprinter::provision(const data::Dataset& train,
 }
 
 void AdaptiveFingerprinter::initialize(const data::Dataset& references) {
-  references_ = ReferenceSet(model_.config().embedding_dim);
+  references_ = ShardedReferenceSet(model_.config().embedding_dim, n_shards_);
   references_.add_all(model_.embed_dataset(references), references.labels_of());
 }
 

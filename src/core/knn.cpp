@@ -1,6 +1,8 @@
 #include "core/knn.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <mutex>
 #include <stdexcept>
 
 #include "util/thread_pool.hpp"
@@ -11,14 +13,31 @@ namespace {
 
 constexpr std::size_t kQueryBlock = 32;  // queries per GEMM tile / pool task
 
-// Reusable per-thread workspace: distance row, top-k heap and per-class
-// stats. Thread-local so concurrent shards never contend and the scalar
-// rank() allocates nothing in steady state.
+// One top-k candidate: squared distance plus a packed key carrying the
+// row's global insertion id (upper bits) and its global class id (lower
+// kClassBits). Insertion ids are unique, so comparing packed keys compares
+// insertion ids — pair's lexicographic < therefore orders candidates by
+// (dist, gid), identical to a partial_sort over (dist, index) pairs of one
+// unsharded scan, while keeping heap elements at 16 bytes.
+using Candidate = std::pair<double, std::uint64_t>;
+
+constexpr std::uint64_t kClassBits = 24;  // up to ~16.7M classes, ~1.1T rows
+constexpr std::uint64_t kClassMask = (std::uint64_t{1} << kClassBits) - 1;
+
+inline std::uint64_t pack_key(std::uint64_t gid, int class_id) {
+  return (gid << kClassBits) | static_cast<std::uint64_t>(class_id);
+}
+
+// Reusable per-thread workspace: GEMM tile, per-shard heap, merged
+// candidates and per-class stats. Thread-local so concurrent pool tasks
+// never contend and the hot paths allocate nothing in steady state.
 struct RankScratch {
   std::vector<float> dots;
-  std::vector<std::pair<double, std::size_t>> heap;  // max-heap of the k best
-  std::vector<int> votes;                            // per class id
-  std::vector<double> best;                          // per class id
+  std::vector<double> qnorms;
+  std::vector<Candidate> heap;    // bounded max-heap of one shard's k best
+  std::vector<Candidate> merged;  // candidates accumulated across shards
+  std::vector<double> best;       // per global class id
+  std::vector<int> votes;         // per global class id
 };
 
 RankScratch& scratch() {
@@ -26,48 +45,61 @@ RankScratch& scratch() {
   return s;
 }
 
-// Build the ranking for one query given its dot products against every
-// reference. Distances use the cached-norm identity; vote counting and the
-// full-set nearest-reference pass mirror the original linear-scan rank().
-void build_ranking(const ReferenceSet& refs, const float* dots, double query_norm, int k_cfg,
-                   std::vector<RankedLabel>& out) {
-  const std::size_t n = refs.size();
-  const std::size_t n_ids = refs.n_class_ids();
-  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(k_cfg), n);
-  const std::vector<double>& ref_norms = refs.squared_norms();
-
-  RankScratch& s = scratch();
-  s.heap.clear();
-  s.votes.assign(n_ids, 0);
-  s.best.assign(n_ids, 1e300);
-
-  // One pass: per-class nearest reference, plus the k smallest (dist, index)
-  // pairs in a bounded max-heap. Ties break on the reference index, exactly
-  // like a partial_sort over (dist, index) pairs.
-  const auto cmp = [](const std::pair<double, std::size_t>& a,
-                      const std::pair<double, std::size_t>& b) { return a < b; };
-  for (std::size_t j = 0; j < n; ++j) {
-    double dist = query_norm + ref_norms[j] - 2.0 * static_cast<double>(dots[j]);
+// Scan one shard given the query's dot products against its rows: fold the
+// per-class nearest distance into `best` (a flat per-class array) and
+// append the shard's k smallest (dist, gid) candidates to `merged`.
+// Templated on row-id presence so the single-shard store pays no per-row
+// branch for its implicit identity ids.
+template <bool kHasRowIds>
+void scan_shard_impl(const ShardView& shard, const float* dots, double query_norm,
+                     std::size_t k, std::vector<Candidate>& heap, double* best,
+                     std::vector<Candidate>& merged) {
+  const auto cmp = [](const Candidate& a, const Candidate& b) { return a < b; };
+  heap.clear();
+  for (std::size_t j = 0; j < shard.rows; ++j) {
+    double dist = query_norm + shard.sq_norms[j] - 2.0 * static_cast<double>(dots[j]);
     if (dist < 0.0) dist = 0.0;
-    const int id = refs.class_id(j);
-    if (dist < s.best[static_cast<std::size_t>(id)]) s.best[static_cast<std::size_t>(id)] = dist;
-    const std::pair<double, std::size_t> entry{dist, j};
-    if (s.heap.size() < k) {
-      s.heap.push_back(entry);
-      std::push_heap(s.heap.begin(), s.heap.end(), cmp);
-    } else if (k > 0 && entry < s.heap.front()) {
-      std::pop_heap(s.heap.begin(), s.heap.end(), cmp);
-      s.heap.back() = entry;
-      std::push_heap(s.heap.begin(), s.heap.end(), cmp);
+    const int id = shard.class_ids[j];
+    if (dist < best[static_cast<std::size_t>(id)]) best[static_cast<std::size_t>(id)] = dist;
+    const Candidate entry{dist, pack_key(kHasRowIds ? shard.row_ids[j] : j, id)};
+    if (heap.size() < k) {
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (k > 0 && entry < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = entry;
+      std::push_heap(heap.begin(), heap.end(), cmp);
     }
   }
-  for (const auto& [dist, j] : s.heap)
-    ++s.votes[static_cast<std::size_t>(refs.class_id(j))];
+  merged.insert(merged.end(), heap.begin(), heap.end());
+}
 
+void scan_shard(const ShardView& shard, const float* dots, double query_norm, std::size_t k,
+                std::vector<Candidate>& heap, double* best, std::vector<Candidate>& merged) {
+  if (shard.row_ids != nullptr)
+    scan_shard_impl<true>(shard, dots, query_norm, k, heap, best, merged);
+  else
+    scan_shard_impl<false>(shard, dots, query_norm, k, heap, best, merged);
+}
+
+// Keep the k globally smallest candidates, count their votes per class and
+// emit the sorted ranking. The union of per-shard k-best lists always
+// contains the global k best, so this equals the unsharded selection.
+void finalize_ranking(const ReferenceStore& refs, std::size_t k, std::vector<Candidate>& merged,
+                      std::vector<int>& votes, const double* best,
+                      std::vector<RankedLabel>& out) {
+  const std::size_t n_ids = refs.n_class_ids();
+  if (merged.size() > k) {
+    std::nth_element(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(k),
+                     merged.end());
+    merged.resize(k);
+  }
+  votes.assign(n_ids, 0);
+  for (const Candidate& c : merged) ++votes[static_cast<std::size_t>(c.second & kClassMask)];
   out.clear();
   out.reserve(n_ids);
   for (std::size_t id = 0; id < n_ids; ++id)
-    out.push_back({refs.label_of_id(id), s.votes[id], s.best[id]});
+    out.push_back({refs.label_of_id(id), votes[id], best[id]});
   std::sort(out.begin(), out.end(), [](const RankedLabel& a, const RankedLabel& b) {
     if (a.votes != b.votes) return a.votes > b.votes;
     if (a.distance != b.distance) return a.distance < b.distance;
@@ -77,23 +109,58 @@ void build_ranking(const ReferenceSet& refs, const float* dots, double query_nor
 
 }  // namespace
 
-std::vector<RankedLabel> KnnClassifier::rank(const ReferenceSet& references,
+std::vector<RankedLabel> KnnClassifier::rank(const ReferenceStore& references,
                                              std::span<const float> query) const {
   const std::size_t n = references.size();
   if (n == 0) return {};
   if (query.size() != references.dim())
     throw std::invalid_argument("KnnClassifier::rank: query width mismatch");
-  RankScratch& s = scratch();
-  s.dots.resize(n);
-  nn::gemm_nt_serial(query.data(), 1, references.data(), n, references.dim(), s.dots.data());
+  const std::size_t n_shards = references.shard_count();
+  const std::size_t n_ids = references.n_class_ids();
+  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(std::max(0, k_)), n);
+  const double qnorm = nn::squared_norm(query.data(), query.size());
+
+  RankScratch& sc = scratch();
+  sc.merged.clear();
+  sc.best.assign(n_ids, 1e300);
+  if (n_shards == 1) {
+    // Zero-allocation steady state on the per-trace latency path.
+    const ShardView shard = references.shard_view(0);
+    sc.dots.resize(shard.rows);
+    nn::gemm_nt_serial(query.data(), 1, shard.data, shard.rows, references.dim(),
+                       sc.dots.data());
+    scan_shard(shard, sc.dots.data(), qnorm, k, sc.heap, sc.best.data(), sc.merged);
+  } else {
+    // Per-shard candidate heaps in parallel over the pool, folded into the
+    // caller's accumulators under a mutex. Fold order doesn't matter: the
+    // per-class fold is min() and finalize selects the k smallest by the
+    // unique (dist, gid) key, so the result is schedule-independent.
+    std::mutex fold_mutex;
+    util::global_pool().parallel_for(0, n_shards, [&](std::size_t s) {
+      const ShardView shard = references.shard_view(s);
+      if (shard.rows == 0) return;
+      thread_local std::vector<float> dots;
+      thread_local std::vector<Candidate> heap;
+      thread_local std::vector<Candidate> cands;
+      thread_local std::vector<double> best;
+      dots.resize(shard.rows);
+      nn::gemm_nt_serial(query.data(), 1, shard.data, shard.rows, references.dim(),
+                         dots.data());
+      cands.clear();
+      best.assign(n_ids, 1e300);
+      scan_shard(shard, dots.data(), qnorm, k, heap, best.data(), cands);
+      const std::scoped_lock lock(fold_mutex);
+      sc.merged.insert(sc.merged.end(), cands.begin(), cands.end());
+      for (std::size_t id = 0; id < n_ids; ++id) sc.best[id] = std::min(sc.best[id], best[id]);
+    });
+  }
   std::vector<RankedLabel> ranking;
-  build_ranking(references, s.dots.data(), nn::squared_norm(query.data(), query.size()), k_,
-                ranking);
+  finalize_ranking(references, k, sc.merged, sc.votes, sc.best.data(), ranking);
   return ranking;
 }
 
 std::vector<std::vector<RankedLabel>> KnnClassifier::rank_batch(
-    const ReferenceSet& references, const nn::Matrix& queries) const {
+    const ReferenceStore& references, const nn::Matrix& queries) const {
   const std::size_t m = queries.rows();
   std::vector<std::vector<RankedLabel>> rankings(m);
   const std::size_t n = references.size();
@@ -101,22 +168,39 @@ std::vector<std::vector<RankedLabel>> KnnClassifier::rank_batch(
   if (queries.cols() != references.dim())
     throw std::invalid_argument("KnnClassifier::rank_batch: query width mismatch");
   const std::size_t dim = references.dim();
+  const std::size_t n_shards = references.shard_count();
+  const std::size_t n_ids = references.n_class_ids();
+  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(std::max(0, k_)), n);
 
   util::global_pool().parallel_blocks(0, m, kQueryBlock, [&](std::size_t lo, std::size_t hi) {
-    // The GEMM tile lives in the shard's thread-local scratch; build_ranking
-    // shares the same workspace, so compute the tile first, then rank from a
-    // row pointer it no longer resizes.
+    // Per-query accumulators for the current tile, reused (capacity intact)
+    // across tiles; shards are scanned one after another, each contributing
+    // one GEMM tile and its candidates. best is flat: query q owns
+    // [q * n_ids, (q + 1) * n_ids).
+    std::vector<std::vector<Candidate>> merged(kQueryBlock);
+    std::vector<double> best;
     for (std::size_t t0 = lo; t0 < hi; t0 += kQueryBlock) {
       const std::size_t t1 = std::min(hi, t0 + kQueryBlock);
-      RankScratch& s = scratch();
-      s.dots.resize((t1 - t0) * n);
-      nn::gemm_nt_serial(queries.data() + t0 * dim, t1 - t0, references.data(), n, dim,
-                         s.dots.data());
-      for (std::size_t q = t0; q < t1; ++q) {
-        const float* query = queries.data() + q * dim;
-        build_ranking(references, scratch().dots.data() + (q - t0) * n,
-                      nn::squared_norm(query, dim), k_, rankings[q]);
+      const std::size_t rows = t1 - t0;
+      RankScratch& sc = scratch();
+      sc.qnorms.resize(rows);
+      for (std::size_t q = 0; q < rows; ++q)
+        sc.qnorms[q] = nn::squared_norm(queries.data() + (t0 + q) * dim, dim);
+      for (std::size_t q = 0; q < rows; ++q) merged[q].clear();
+      best.assign(rows * n_ids, 1e300);
+      for (std::size_t s = 0; s < n_shards; ++s) {
+        const ShardView shard = references.shard_view(s);
+        if (shard.rows == 0) continue;
+        sc.dots.resize(rows * shard.rows);
+        nn::gemm_nt_serial(queries.data() + t0 * dim, rows, shard.data, shard.rows, dim,
+                           sc.dots.data());
+        for (std::size_t q = 0; q < rows; ++q)
+          scan_shard(shard, sc.dots.data() + q * shard.rows, sc.qnorms[q], k, sc.heap,
+                     best.data() + q * n_ids, merged[q]);
       }
+      for (std::size_t q = 0; q < rows; ++q)
+        finalize_ranking(references, k, merged[q], sc.votes, best.data() + q * n_ids,
+                         rankings[t0 + q]);
     }
   });
   return rankings;

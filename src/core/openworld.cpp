@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wf::core {
@@ -13,91 +15,170 @@ namespace {
 
 constexpr std::size_t kQueryBlock = 32;
 
-// k-th smallest squared distance from one query to the reference rows,
-// given the query's dot products against every reference.
-double kth_sq_distance(const ReferenceSet& refs, const float* dots, double qnorm,
-                       std::size_t k, std::vector<double>& scratch) {
-  const std::size_t n = refs.size();
-  const std::vector<double>& ref_norms = refs.squared_norms();
-  scratch.resize(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    double dist = qnorm + ref_norms[j] - 2.0 * static_cast<double>(dots[j]);
+// Append this shard's `count` smallest squared distances to `merged`, given
+// the query's dot products against the shard's rows.
+void shard_smallest(const ShardView& shard, const float* dots, double qnorm, std::size_t count,
+                    std::vector<double>& scratch, std::vector<double>& merged) {
+  scratch.resize(shard.rows);
+  for (std::size_t j = 0; j < shard.rows; ++j) {
+    const double dist = qnorm + shard.sq_norms[j] - 2.0 * static_cast<double>(dots[j]);
     scratch[j] = dist < 0.0 ? 0.0 : dist;
   }
-  std::nth_element(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(k),
-                   scratch.end());
-  return scratch[k];
+  const std::size_t keep = std::min(count, shard.rows);
+  if (keep < shard.rows)
+    std::nth_element(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(keep),
+                     scratch.end());
+  merged.insert(merged.end(), scratch.begin(),
+                scratch.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+// k-th smallest (0-based) of the merged per-shard lists. Each shard kept at
+// least min(k + 1, rows) values, so the union contains the global k + 1
+// smallest and the selected value equals an unsharded nth_element.
+double merged_kth(std::vector<double>& merged, std::size_t k) {
+  std::nth_element(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(k),
+                   merged.end());
+  return merged[k];
 }
 
 }  // namespace
 
-double OpenWorldDetector::kth_distance(const ReferenceSet& references,
-                                       std::span<const float> embedding) const {
-  const std::size_t n = references.size();
-  if (n == 0) return 1e300;
-  thread_local std::vector<float> dots;
-  thread_local std::vector<double> dist_scratch;
-  dots.resize(n);
-  nn::gemm_nt_serial(embedding.data(), 1, references.data(), n, references.dim(), dots.data());
-  const std::size_t k = std::min<std::size_t>(std::max(1, config_.neighbour), n) - 1;
-  return std::sqrt(kth_sq_distance(references, dots.data(),
-                                   nn::squared_norm(embedding.data(), embedding.size()), k,
-                                   dist_scratch));
+void OpenWorldDetector::require_calibrated(const char* what) const {
+  if (!calibrated_)
+    throw std::logic_error(std::string("OpenWorldDetector::") + what +
+                           ": calibrate() must run first (an uncalibrated threshold would "
+                           "accept every sample as monitored)");
 }
 
-std::vector<double> OpenWorldDetector::kth_distances(const ReferenceSet& references,
+void OpenWorldDetector::note_neighbour_clamp(std::size_t rows) const {
+  if (!clamp_fired_.exchange(true))
+    util::log_warn() << "OpenWorldDetector: reference set has " << rows
+                     << " row(s), fewer than neighbour=" << config_.neighbour
+                     << "; clamping to the farthest available neighbour "
+                        "(metrics will report neighbour_clamped)";
+}
+
+double OpenWorldDetector::kth_distance(const ReferenceStore& references,
+                                       std::span<const float> embedding) const {
+  const std::size_t n = references.size();
+  const std::size_t neighbour = static_cast<std::size_t>(std::max(1, config_.neighbour));
+  if (n < neighbour) note_neighbour_clamp(n);
+  if (n == 0) return 1e300;
+  const std::size_t k = std::min(neighbour, n) - 1;
+  const std::size_t n_shards = references.shard_count();
+  const double qnorm = nn::squared_norm(embedding.data(), embedding.size());
+
+  // Bound through a local reference so the pool lambda below captures the
+  // caller's buffer (thread_local names resolve per executing thread).
+  thread_local std::vector<double> merged_tls;
+  std::vector<double>& merged = merged_tls;
+  merged.clear();
+  if (n_shards == 1) {
+    const ShardView shard = references.shard_view(0);
+    thread_local std::vector<float> dots;
+    thread_local std::vector<double> dist_scratch;
+    dots.resize(shard.rows);
+    nn::gemm_nt_serial(embedding.data(), 1, shard.data, shard.rows, references.dim(),
+                       dots.data());
+    shard_smallest(shard, dots.data(), qnorm, k + 1, dist_scratch, merged);
+    return std::sqrt(merged_kth(merged, k));
+  }
+  // Per-shard k-smallest lists in parallel over the pool, folded under a
+  // mutex; the k-th order statistic is fold-order-independent.
+  std::mutex fold_mutex;
+  util::global_pool().parallel_for(0, n_shards, [&](std::size_t s) {
+    const ShardView shard = references.shard_view(s);
+    if (shard.rows == 0) return;
+    thread_local std::vector<float> dots;
+    thread_local std::vector<double> dist_scratch;
+    thread_local std::vector<double> list;
+    dots.resize(shard.rows);
+    nn::gemm_nt_serial(embedding.data(), 1, shard.data, shard.rows, references.dim(),
+                       dots.data());
+    list.clear();
+    shard_smallest(shard, dots.data(), qnorm, k + 1, dist_scratch, list);
+    const std::scoped_lock lock(fold_mutex);
+    merged.insert(merged.end(), list.begin(), list.end());
+  });
+  return std::sqrt(merged_kth(merged, k));
+}
+
+std::vector<double> OpenWorldDetector::kth_distances(const ReferenceStore& references,
                                                      const nn::Matrix& embeddings) const {
   const std::size_t m = embeddings.rows();
   const std::size_t n = references.size();
   std::vector<double> result(m, 1e300);
-  if (m == 0 || n == 0) return result;
+  if (m == 0) return result;
+  const std::size_t neighbour = static_cast<std::size_t>(std::max(1, config_.neighbour));
+  if (n < neighbour) note_neighbour_clamp(n);
+  if (n == 0) return result;
   if (embeddings.cols() != references.dim())
     throw std::invalid_argument("OpenWorldDetector::kth_distances: width mismatch");
   const std::size_t dim = references.dim();
-  const std::size_t k = std::min<std::size_t>(std::max(1, config_.neighbour), n) - 1;
+  const std::size_t n_shards = references.shard_count();
+  const std::size_t k = std::min(neighbour, n) - 1;
 
   util::global_pool().parallel_blocks(0, m, kQueryBlock, [&](std::size_t lo, std::size_t hi) {
     thread_local std::vector<float> dots;
     thread_local std::vector<double> dist_scratch;
+    // Per-query accumulators for the current tile, reused (capacity intact)
+    // across tiles; query norms computed once per tile, not once per shard.
+    std::vector<std::vector<double>> merged(kQueryBlock);
+    std::vector<double> qnorms(kQueryBlock);
     for (std::size_t t0 = lo; t0 < hi; t0 += kQueryBlock) {
       const std::size_t t1 = std::min(hi, t0 + kQueryBlock);
-      dots.resize((t1 - t0) * n);
-      nn::gemm_nt_serial(embeddings.data() + t0 * dim, t1 - t0, references.data(), n, dim,
-                         dots.data());
-      for (std::size_t q = t0; q < t1; ++q) {
-        const double qn = nn::squared_norm(embeddings.data() + q * dim, dim);
-        result[q] =
-            std::sqrt(kth_sq_distance(references, dots.data() + (q - t0) * n, qn, k,
-                                      dist_scratch));
+      const std::size_t rows = t1 - t0;
+      for (std::size_t q = 0; q < rows; ++q) {
+        merged[q].clear();
+        qnorms[q] = nn::squared_norm(embeddings.data() + (t0 + q) * dim, dim);
       }
+      for (std::size_t s = 0; s < n_shards; ++s) {
+        const ShardView shard = references.shard_view(s);
+        if (shard.rows == 0) continue;
+        dots.resize(rows * shard.rows);
+        nn::gemm_nt_serial(embeddings.data() + t0 * dim, rows, shard.data, shard.rows, dim,
+                           dots.data());
+        for (std::size_t q = 0; q < rows; ++q)
+          shard_smallest(shard, dots.data() + q * shard.rows, qnorms[q], k + 1, dist_scratch,
+                         merged[q]);
+      }
+      for (std::size_t q = 0; q < rows; ++q)
+        result[t0 + q] = std::sqrt(merged_kth(merged[q], k));
     }
   });
   return result;
 }
 
-void OpenWorldDetector::calibrate(const ReferenceSet& references,
+void OpenWorldDetector::calibrate(const ReferenceStore& references,
                                   const nn::Matrix& monitored_samples) {
   if (monitored_samples.rows() == 0)
     throw std::invalid_argument("OpenWorldDetector::calibrate: no monitored samples");
   std::vector<double> distances = kth_distances(references, monitored_samples);
   std::sort(distances.begin(), distances.end());
   // Smallest threshold accepting at least target_tpr of the monitored set.
+  // ceil(tpr * n) computed naively overshoots whenever the product rounds
+  // just above an integer (0.07 * 100 = 7.0000000000000009 → ceil 8), which
+  // silently raises the operating point and inflates FPR; the epsilon keeps
+  // exactly-representable boundaries exact.
   const double tpr = std::clamp(config_.target_tpr, 0.0, 1.0);
+  const std::size_t n = distances.size();
   std::size_t idx = static_cast<std::size_t>(
-      std::ceil(tpr * static_cast<double>(distances.size())));
-  if (idx == 0) idx = 1;
-  if (idx > distances.size()) idx = distances.size();
+      std::ceil(tpr * static_cast<double>(n) - 1e-9));
+  idx = std::clamp<std::size_t>(idx, 1, n);
   threshold_ = distances[idx - 1] * (1.0 + 1e-9);
+  calibrated_ = true;
 }
 
-bool OpenWorldDetector::is_monitored(const ReferenceSet& references,
+bool OpenWorldDetector::is_monitored(const ReferenceStore& references,
                                      std::span<const float> embedding) const {
+  require_calibrated("is_monitored");
   return kth_distance(references, embedding) <= threshold_;
 }
 
-OpenWorldMetrics OpenWorldDetector::evaluate(const ReferenceSet& references,
+OpenWorldMetrics OpenWorldDetector::evaluate(const ReferenceStore& references,
                                              const nn::Matrix& monitored,
                                              const nn::Matrix& unmonitored) const {
+  require_calibrated("evaluate");
   OpenWorldMetrics metrics;
   metrics.threshold = threshold_;
   std::size_t tp = 0, fp = 0;
@@ -112,6 +193,7 @@ OpenWorldMetrics OpenWorldDetector::evaluate(const ReferenceSet& references,
         static_cast<double>(fp) / static_cast<double>(unmonitored.rows());
   if (tp + fp > 0)
     metrics.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+  metrics.neighbour_clamped = clamp_fired_.load();
   return metrics;
 }
 

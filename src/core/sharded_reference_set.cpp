@@ -1,0 +1,100 @@
+#include "core/sharded_reference_set.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace wf::core {
+
+ShardedReferenceSet::ShardedReferenceSet(std::size_t dim, std::size_t n_shards) : dim_(dim) {
+  if (n_shards == 0) n_shards = default_shard_count();
+  shards_.resize(n_shards);
+}
+
+std::size_t ShardedReferenceSet::default_shard_count() {
+  if (const char* env = std::getenv("WF_SHARDS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(std::min<long>(v, 4096));
+  }
+  return util::global_pool().size();
+}
+
+void ShardedReferenceSet::add(std::span<const float> embedding, int label) {
+  if (embedding.size() != dim_)
+    throw std::invalid_argument("ShardedReferenceSet::add: embedding width mismatch");
+  if (shards_.empty()) shards_.resize(1);
+  Shard& shard = shards_[next_row_id_ % shards_.size()];
+  shard.data.insert(shard.data.end(), embedding.begin(), embedding.end());
+  shard.labels.push_back(label);
+  double norm = 0.0;
+  for (const float v : embedding) norm += static_cast<double>(v) * v;
+  shard.sq_norms.push_back(norm);
+  const auto [it, inserted] =
+      label_to_id_.try_emplace(label, static_cast<int>(id_to_label_.size()));
+  if (inserted) id_to_label_.push_back(label);
+  shard.class_ids.push_back(it->second);
+  shard.row_ids.push_back(next_row_id_++);
+  ++size_;
+}
+
+void ShardedReferenceSet::add_all(const nn::Matrix& embeddings, const std::vector<int>& labels) {
+  if (embeddings.rows() != labels.size())
+    throw std::invalid_argument("ShardedReferenceSet::add_all: rows != labels");
+  for (std::size_t i = 0; i < embeddings.rows(); ++i) add(embeddings.row_span(i), labels[i]);
+}
+
+void ShardedReferenceSet::remove_class(int label) {
+  for (Shard& shard : shards_) {
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < shard.labels.size(); ++read) {
+      if (shard.labels[read] == label) continue;
+      if (write != read) {
+        std::copy(shard.data.begin() + static_cast<std::ptrdiff_t>(read * dim_),
+                  shard.data.begin() + static_cast<std::ptrdiff_t>((read + 1) * dim_),
+                  shard.data.begin() + static_cast<std::ptrdiff_t>(write * dim_));
+        shard.labels[write] = shard.labels[read];
+        shard.sq_norms[write] = shard.sq_norms[read];
+        shard.row_ids[write] = shard.row_ids[read];
+      }
+      ++write;
+    }
+    shard.labels.resize(write);
+    shard.data.resize(write * dim_);
+    shard.sq_norms.resize(write);
+    shard.class_ids.resize(write);
+    shard.row_ids.resize(write);
+  }
+  rebuild_class_ids();
+}
+
+void ShardedReferenceSet::rebuild_class_ids() {
+  label_to_id_.clear();
+  id_to_label_.clear();
+  size_ = 0;
+  for (Shard& shard : shards_) {
+    size_ += shard.labels.size();
+    for (std::size_t i = 0; i < shard.labels.size(); ++i) {
+      const auto [it, inserted] =
+          label_to_id_.try_emplace(shard.labels[i], static_cast<int>(id_to_label_.size()));
+      if (inserted) id_to_label_.push_back(shard.labels[i]);
+      shard.class_ids[i] = it->second;
+    }
+  }
+}
+
+ShardView ShardedReferenceSet::shard_view(std::size_t shard) const {
+  const Shard& s = shards_[shard];
+  return {s.data.data(), s.sq_norms.data(), s.class_ids.data(), s.row_ids.data(),
+          s.labels.size()};
+}
+
+std::vector<int> ShardedReferenceSet::classes() const {
+  std::vector<int> out = id_to_label_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace wf::core

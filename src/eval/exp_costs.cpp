@@ -40,7 +40,7 @@ CostResult run_cost_experiment(WikiScenario& scenario) {
       data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
 
   // This work: provision once, adapt by swap, test per trace.
-  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k);
+  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
   util::Stopwatch watch;
   attacker.provision(split.first);
   attacker.initialize(split.first);

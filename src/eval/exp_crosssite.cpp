@@ -20,7 +20,7 @@ util::Table run_exp3_crosssite(WikiScenario& scenario) {
       data::build_dataset(scenario.wiki_site(classes), scenario.wiki_farm(), {}, crawl);
   const data::SampleSplit home_split =
       data::split_samples(home_dataset, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter attacker(cfg.embedding2, cfg.knn_k);
+  core::AdaptiveFingerprinter attacker(cfg.embedding2, cfg.knn_k, cfg.knn_shards);
   attacker.provision(home_split.first);
 
   const auto evaluate_target = [&](const char* name, const netsim::Website& site,

@@ -67,7 +67,7 @@ Exp4Result run_exp4_distinguish(WikiScenario& scenario) {
   const data::Dataset dataset = data::encode_corpus(corpus, cfg.seq3);
   const data::SampleSplit split =
       data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k);
+  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
   attacker.provision(split.first);
   attacker.initialize(split.first);
 

@@ -21,7 +21,7 @@ util::Table run_padding_experiment(WikiScenario& scenario) {
   const data::Dataset dataset = data::encode_corpus(corpus, cfg.seq3);
   const data::SampleSplit split =
       data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k);
+  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
   attacker.provision(split.first);
   attacker.initialize(split.first);
 
@@ -84,7 +84,7 @@ util::Table run_defense_ablation(WikiScenario& scenario) {
   const data::Dataset plain_dataset = data::encode_corpus(plain, cfg.seq3);
   const data::SampleSplit split =
       data::split_samples(plain_dataset, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k);
+  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
   attacker.provision(split.first);
   attacker.initialize(split.first);
 

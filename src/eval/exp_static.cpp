@@ -34,7 +34,7 @@ util::Table run_exp1_static(WikiScenario& scenario) {
 
   for (const int classes : cfg.exp1_class_counts) {
     util::log_info() << "exp1: " << classes << " classes (TLS 1.2)";
-    core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k);
+    core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
     add_row(classes, "1.2",
             evaluate_site(scenario.wiki_site(classes),
                           cfg.crawl_seed + static_cast<std::uint64_t>(classes), attacker,
@@ -45,7 +45,7 @@ util::Table run_exp1_static(WikiScenario& scenario) {
   {
     const int classes = cfg.exp1_shift_classes;
     util::log_info() << "exp1: TLS 1.3 version shift at " << classes << " classes";
-    core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k);
+    core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
     evaluate_site(scenario.wiki_site(classes),
                   cfg.crawl_seed + static_cast<std::uint64_t>(classes), attacker,
                   /*provision=*/true);

@@ -21,7 +21,7 @@ Exp2Result run_exp2_transfer(WikiScenario& scenario) {
       scenario.wiki_site(cfg.transfer_train_classes), scenario.wiki_farm(), {}, crawl);
   const data::SampleSplit train_split =
       data::split_samples(train_dataset, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k);
+  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
   attacker.provision(train_split.first);
 
   for (const int classes : cfg.transfer_new_class_counts) {

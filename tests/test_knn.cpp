@@ -59,5 +59,53 @@ int main() {
   const core::ReferenceSet empty(2);
   CHECK(knn.rank(empty, near7).empty());
 
+  // remove_class + re-add rebuilds the dense class-id tables: rankings must
+  // match a freshly built set with the same rows (no stale class_id mapping)
+  // — the invariant the sharded probe-and-swap relies on.
+  {
+    core::ReferenceSet mutated(2);
+    const auto fill = [](core::ReferenceSet& rs, int label, float cx, float cy) {
+      const float offsets[4][2] = {{0.0f, 0.0f}, {0.05f, 0.0f}, {0.0f, 0.05f}, {-0.05f, -0.05f}};
+      for (const auto& o : offsets) rs.add(std::vector<float>{cx + o[0], cy + o[1]}, label);
+    };
+    fill(mutated, 7, 0.0f, 0.0f);
+    fill(mutated, 8, 1.0f, 0.0f);
+    fill(mutated, 9, 0.0f, 1.0f);
+    mutated.remove_class(8);
+    fill(mutated, 8, 1.0f, 0.1f);   // refreshed references, shifted cluster
+    fill(mutated, 10, 1.0f, 1.0f);  // plus a class the set has never seen
+
+    // Same rows in the same final order, built without any removal.
+    core::ReferenceSet rebuilt(2);
+    fill(rebuilt, 7, 0.0f, 0.0f);
+    fill(rebuilt, 9, 0.0f, 1.0f);
+    fill(rebuilt, 8, 1.0f, 0.1f);
+    fill(rebuilt, 10, 1.0f, 1.0f);
+    CHECK(mutated.size() == rebuilt.size());
+    CHECK(mutated.classes() == rebuilt.classes());
+
+    nn::Matrix queries(4, 2);
+    queries.set_row(0, std::vector<float>{0.02f, 0.01f});
+    queries.set_row(1, std::vector<float>{1.0f, 0.08f});
+    queries.set_row(2, std::vector<float>{0.9f, 0.9f});
+    queries.set_row(3, std::vector<float>{0.5f, 0.5f});
+    const auto batch_mutated = knn.rank_batch(mutated, queries);
+    const auto batch_rebuilt = knn.rank_batch(rebuilt, queries);
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+      CHECK(batch_mutated[q].size() == batch_rebuilt[q].size());
+      for (std::size_t r = 0; r < batch_mutated[q].size(); ++r) {
+        CHECK(batch_mutated[q][r].label == batch_rebuilt[q][r].label);
+        CHECK(batch_mutated[q][r].votes == batch_rebuilt[q][r].votes);
+        CHECK(batch_mutated[q][r].distance == batch_rebuilt[q][r].distance);
+      }
+      const auto scalar = knn.rank(mutated, queries.row_span(q));
+      CHECK(scalar.size() == batch_mutated[q].size());
+      for (std::size_t r = 0; r < scalar.size(); ++r)
+        CHECK(scalar[r].label == batch_mutated[q][r].label);
+    }
+    CHECK(batch_mutated[1].front().label == 8);   // refreshed class wins again
+    CHECK(batch_mutated[2].front().label == 10);  // new class is rankable
+  }
+
   return TEST_MAIN_RESULT();
 }

@@ -1,0 +1,148 @@
+// The sharded reference store is an exact drop-in for the unsharded scan:
+// for shard counts 1, 2 and 7, rank()/rank_batch() and kth_distances() are
+// bit-identical to the ReferenceSet path, before and after probe-and-swap
+// (remove_class + re-add), and AdaptiveFingerprinter's sharded swap keeps
+// class ids fresh.
+#include <cmath>
+#include <vector>
+
+#include "core/knn.hpp"
+#include "core/openworld.hpp"
+#include "core/sharded_reference_set.hpp"
+#include "nn/matrix.hpp"
+#include "test_common.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wf;
+
+std::vector<float> random_point(util::Rng& rng, std::size_t dim, double spread = 1.0) {
+  std::vector<float> v(dim);
+  for (float& x : v) x = static_cast<float>(rng.normal(0.0, spread));
+  return v;
+}
+
+// Rankings must agree exactly: same labels, same votes, bitwise-equal
+// per-class nearest distances.
+void check_rankings_identical(const std::vector<core::RankedLabel>& a,
+                              const std::vector<core::RankedLabel>& b) {
+  CHECK(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    CHECK(a[i].label == b[i].label);
+    CHECK(a[i].votes == b[i].votes);
+    CHECK(a[i].distance == b[i].distance);  // bit-identical, no tolerance
+  }
+}
+
+struct Row {
+  std::vector<float> embedding;
+  int label;
+};
+
+// Clustered rows with deliberate duplicates so distance ties exercise the
+// (dist, insertion-id) tie-break across shard boundaries.
+std::vector<Row> make_rows(util::Rng& rng, std::size_t dim, int n_classes, int per_class) {
+  std::vector<Row> rows;
+  for (int c = 0; c < n_classes; ++c) {
+    const std::vector<float> center = random_point(rng, dim);
+    for (int s = 0; s < per_class; ++s) {
+      std::vector<float> e = center;
+      if (s % 4 != 0)  // every 4th row is an exact duplicate of the center
+        for (float& x : e) x += static_cast<float>(rng.normal(0.0, 0.1));
+      rows.push_back({e, 400 + c});
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(29);
+  const std::size_t dim = 12;
+  const std::vector<Row> rows = make_rows(rng, dim, 9, 14);
+
+  core::ReferenceSet flat(dim);
+  for (const Row& r : rows) flat.add(r.embedding, r.label);
+
+  nn::Matrix queries(37, dim);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    // Mix of cluster-adjacent and far-away queries.
+    std::vector<float> v = q % 3 == 0 ? random_point(rng, dim, 3.0) : rows[q * 3].embedding;
+    if (q % 3 != 0)
+      for (float& x : v) x += static_cast<float>(rng.normal(0.0, 0.05));
+    queries.set_row(q, v);
+  }
+
+  const core::KnnClassifier knn(17);
+  const core::OpenWorldDetector detector({.neighbour = 5, .target_tpr = 0.9});
+  const auto flat_rankings = knn.rank_batch(flat, queries);
+  const std::vector<double> flat_kth = detector.kth_distances(flat, queries);
+
+  for (const std::size_t n_shards : {1u, 2u, 7u}) {
+    core::ShardedReferenceSet sharded(dim, n_shards);
+    for (const Row& r : rows) sharded.add(r.embedding, r.label);
+    CHECK(sharded.shard_count() == n_shards);
+    CHECK(sharded.size() == flat.size());
+    CHECK(sharded.classes() == flat.classes());
+
+    // Batched ranking: bit-identical to the unsharded path.
+    const auto sharded_rankings = knn.rank_batch(sharded, queries);
+    CHECK(sharded_rankings.size() == flat_rankings.size());
+    for (std::size_t q = 0; q < queries.rows(); ++q)
+      check_rankings_identical(flat_rankings[q], sharded_rankings[q]);
+
+    // Scalar ranking runs the same per-shard kernels.
+    for (std::size_t q = 0; q < queries.rows(); q += 5)
+      check_rankings_identical(knn.rank(flat, queries.row_span(q)),
+                               knn.rank(sharded, queries.row_span(q)));
+
+    // Open-world k-th-neighbour distances: bit-identical merge.
+    const std::vector<double> sharded_kth = detector.kth_distances(sharded, queries);
+    CHECK(sharded_kth.size() == flat_kth.size());
+    for (std::size_t q = 0; q < flat_kth.size(); ++q) CHECK(flat_kth[q] == sharded_kth[q]);
+
+    // Probe-and-swap: drop one class from both stores, re-add fresh rows
+    // plus a brand-new class, and require exact agreement again (the swap
+    // invariant the adaptive attacker relies on).
+    core::ReferenceSet flat2 = flat;
+    const int victim = 404;
+    flat2.remove_class(victim);
+    sharded.remove_class(victim);
+    CHECK(sharded.size() == flat2.size());
+    util::Rng swap_rng(91);
+    std::vector<Row> fresh = make_rows(swap_rng, dim, 1, 10);
+    for (Row& r : fresh) r.label = victim;
+    fresh.push_back({random_point(swap_rng, dim), 499});  // never-seen class
+    for (const Row& r : fresh) {
+      flat2.add(r.embedding, r.label);
+      sharded.add(r.embedding, r.label);
+    }
+    CHECK(sharded.classes() == flat2.classes());
+    const auto flat2_rankings = knn.rank_batch(flat2, queries);
+    const auto sharded2_rankings = knn.rank_batch(sharded, queries);
+    for (std::size_t q = 0; q < queries.rows(); ++q)
+      check_rankings_identical(flat2_rankings[q], sharded2_rankings[q]);
+    const std::vector<double> flat2_kth = detector.kth_distances(flat2, queries);
+    const std::vector<double> sharded2_kth = detector.kth_distances(sharded, queries);
+    for (std::size_t q = 0; q < flat2_kth.size(); ++q) CHECK(flat2_kth[q] == sharded2_kth[q]);
+  }
+
+  // Degenerate layouts: more shards than rows (some shards stay empty).
+  {
+    core::ShardedReferenceSet tiny(dim, 7);
+    core::ReferenceSet tiny_flat(dim);
+    for (int i = 0; i < 4; ++i) {
+      tiny.add(rows[static_cast<std::size_t>(i)].embedding, rows[static_cast<std::size_t>(i)].label);
+      tiny_flat.add(rows[static_cast<std::size_t>(i)].embedding,
+                    rows[static_cast<std::size_t>(i)].label);
+    }
+    const core::KnnClassifier wide(50);  // k far beyond the row count
+    for (std::size_t q = 0; q < 6; ++q)
+      check_rankings_identical(wide.rank(tiny_flat, queries.row_span(q)),
+                               wide.rank(tiny, queries.row_span(q)));
+  }
+
+  return TEST_MAIN_RESULT();
+}
