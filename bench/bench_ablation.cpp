@@ -8,6 +8,7 @@
 #include "core/adaptive.hpp"
 #include "core/openworld.hpp"
 #include "eval/scenario.hpp"
+#include "util/bench_report.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -61,6 +62,7 @@ ArmResult run_arm(const AblationWorld& world, const trace::SequenceOptions& seq,
 }  // namespace
 
 int main() {
+  wf::util::BenchReport report("ablation");
   const int kClasses = 50;
   const int kSamples = 25;
   wf::util::log_info() << "ablation world: " << kClasses << " classes x " << kSamples
@@ -174,8 +176,26 @@ int main() {
     std::cout << "\n== Open-world detection (monitored-set membership, §VI-C) ==\n";
     ow_table.print();
     ow_table.write_csv(wf::eval::results_dir() + "/openworld.csv");
+
+    // Whole operating curve, not just the calibrated points: per-threshold
+    // precision/recall over the same embeddings.
+    wf::core::OpenWorldDetector sweep_detector({.neighbour = 3, .target_tpr = 0.95});
+    const std::vector<wf::core::PrPoint> curve = sweep_detector.precision_recall_sweep(
+        attacker.references(), in_embeddings, out_embeddings, 24);
+    wf::util::Table pr_table({"threshold", "recall", "FPR", "precision"});
+    for (const wf::core::PrPoint& p : curve)
+      pr_table.add_row({wf::util::Table::num(p.threshold, 4), wf::util::Table::pct(p.recall),
+                        wf::util::Table::pct(p.false_positive_rate),
+                        wf::util::Table::pct(p.precision)});
+    std::cout << "\n== Open-world precision/recall sweep ==\n";
+    pr_table.print();
+    pr_table.write_csv(wf::eval::results_dir() + "/openworld_pr.csv");
+    report.metric("openworld_pr_points", static_cast<double>(pr_table.n_rows()));
   }
   table.write_csv(wf::eval::results_dir() + "/ablation.csv");
   std::cout << "CSV written to results/ablation.csv\n";
+  report.metric("rows", static_cast<double>(table.n_rows()));
+  report.metric("rows_per_s", static_cast<double>(table.n_rows()) / report.seconds());
+  report.write(wf::eval::results_dir());
   return 0;
 }

@@ -8,8 +8,10 @@
 #include <iostream>
 
 #include "eval/exp_costs.hpp"
+#include "util/bench_report.hpp"
 
 int main() {
+  wf::util::BenchReport report("costs");
   wf::eval::WikiScenario scenario;
   const wf::eval::CostResult result = wf::eval::run_cost_experiment(scenario);
   std::cout << "== Table III (as published) ==\n";
@@ -17,5 +19,9 @@ int main() {
   std::cout << "\n== Table III (measured on this reproduction) ==\n";
   result.measured.print();
   std::cout << "CSVs written to results/table3_*.csv\n";
+  report.metric("rows", static_cast<double>(result.measured.n_rows()));
+  report.metric("rows_per_s",
+                static_cast<double>(result.measured.n_rows()) / report.seconds());
+  report.write(wf::eval::results_dir());
   return 0;
 }

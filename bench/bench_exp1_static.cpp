@@ -11,8 +11,10 @@
 
 #include "core/embedding_config.hpp"
 #include "eval/exp_static.hpp"
+#include "util/bench_report.hpp"
 
 int main() {
+  wf::util::BenchReport report("exp1_static");
   wf::eval::WikiScenario scenario;
   std::cout << "== Table I: embedding network hyperparameters ==\n";
   wf::core::hyperparameter_table(scenario.config().embedding3).print();
@@ -22,5 +24,8 @@ int main() {
   const wf::util::Table table = wf::eval::run_exp1_static(scenario);
   table.print();
   std::cout << "CSV written to results/exp1_static.csv\n";
+  report.metric("rows", static_cast<double>(table.n_rows()));
+  report.metric("rows_per_s", static_cast<double>(table.n_rows()) / report.seconds());
+  report.write(wf::eval::results_dir());
   return 0;
 }

@@ -9,8 +9,10 @@
 #include <iostream>
 
 #include "eval/exp_transfer.hpp"
+#include "util/bench_report.hpp"
 
 int main() {
+  wf::util::BenchReport report("exp2_transfer");
   wf::eval::WikiScenario scenario;
   std::cout << "== Fig. 7: classification of classes never seen in training ==\n";
   const wf::eval::Exp2Result result = wf::eval::run_exp2_transfer(scenario);
@@ -18,5 +20,9 @@ int main() {
   std::cout << "\n== Table II: guesses needed for ~90% accuracy (sublinear in classes) ==\n";
   result.table2.print();
   std::cout << "CSVs written to results/exp2_transfer.csv, results/exp2_table2.csv\n";
+  report.metric("rows", static_cast<double>(result.accuracy.n_rows()));
+  report.metric("rows_per_s",
+                static_cast<double>(result.accuracy.n_rows()) / report.seconds());
+  report.write(wf::eval::results_dir());
   return 0;
 }

@@ -9,12 +9,17 @@
 #include <iostream>
 
 #include "eval/exp_crosssite.hpp"
+#include "util/bench_report.hpp"
 
 int main() {
+  wf::util::BenchReport report("exp3_crosssite");
   wf::eval::WikiScenario scenario;
   std::cout << "== Fig. 8: cross-site / cross-version transfer (2-sequence model) ==\n";
   const wf::util::Table table = wf::eval::run_exp3_crosssite(scenario);
   table.print();
   std::cout << "CSV written to results/exp3_crosssite.csv\n";
+  report.metric("rows", static_cast<double>(table.n_rows()));
+  report.metric("rows_per_s", static_cast<double>(table.n_rows()) / report.seconds());
+  report.write(wf::eval::results_dir());
   return 0;
 }

@@ -9,8 +9,10 @@
 #include <iostream>
 
 #include "eval/exp_distinguish.hpp"
+#include "util/bench_report.hpp"
 
 int main() {
+  wf::util::BenchReport report("exp4_distinguish");
   wf::eval::WikiScenario scenario;
   const wf::eval::Exp4Result result = wf::eval::run_exp4_distinguish(scenario);
   std::cout << "== Fig. 9: mean guesses per class, known classes (CDF) ==\n";
@@ -20,5 +22,10 @@ int main() {
   std::cout << "\n== Fig. 11: mean guesses per class under FL padding (CDF) ==\n";
   result.padded.print();
   std::cout << "CSVs written to results/exp4_*.csv\n";
+  const double rows = static_cast<double>(result.known.n_rows() + result.unknown.n_rows() +
+                                          result.padded.n_rows());
+  report.metric("rows", rows);
+  report.metric("rows_per_s", rows / report.seconds());
+  report.write(wf::eval::results_dir());
   return 0;
 }

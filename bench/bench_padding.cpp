@@ -8,12 +8,17 @@
 #include <iostream>
 
 #include "eval/exp_padding.hpp"
+#include "util/bench_report.hpp"
 
 int main() {
+  wf::util::BenchReport report("padding");
   wf::eval::WikiScenario scenario;
   std::cout << "== Figs. 12/13: fixed-length padding vs the adaptive adversary ==\n";
   const wf::util::Table table = wf::eval::run_padding_experiment(scenario);
   table.print();
   std::cout << "CSV written to results/padding_fl.csv\n";
+  report.metric("rows", static_cast<double>(table.n_rows()));
+  report.metric("rows_per_s", static_cast<double>(table.n_rows()) / report.seconds());
+  report.write(wf::eval::results_dir());
   return 0;
 }

@@ -14,6 +14,15 @@ struct OpenWorldConfig {
   double target_tpr = 0.95; // calibration: accept this fraction of monitored
 };
 
+// One operating point of the threshold sweep: accept-below-`threshold`
+// applied to the k-th-neighbour distances of both sample sets.
+struct PrPoint {
+  double threshold = 0.0;
+  double recall = 0.0;  // TPR on monitored samples
+  double false_positive_rate = 0.0;
+  double precision = 1.0;
+};
+
 struct OpenWorldMetrics {
   double true_positive_rate = 0.0;
   double false_positive_rate = 0.0;
@@ -49,6 +58,15 @@ class OpenWorldDetector {
 
   OpenWorldMetrics evaluate(const ReferenceStore& references, const nn::Matrix& monitored,
                             const nn::Matrix& unmonitored) const;
+
+  // Per-threshold precision/recall: candidate thresholds are drawn from the
+  // observed k-th-neighbour distances of both sets (subsampled evenly to at
+  // most `max_points`, recall-monotone). Unlike evaluate() this needs no
+  // prior calibrate() — it sweeps the whole operating curve at once.
+  std::vector<PrPoint> precision_recall_sweep(const ReferenceStore& references,
+                                              const nn::Matrix& monitored,
+                                              const nn::Matrix& unmonitored,
+                                              std::size_t max_points = 32) const;
 
   bool calibrated() const noexcept { return calibrated_; }
   double threshold() const {

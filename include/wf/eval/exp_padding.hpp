@@ -14,4 +14,11 @@ util::Table run_padding_experiment(WikiScenario& scenario);
 // results/defense_ablation.csv.
 util::Table run_defense_ablation(WikiScenario& scenario);
 
+// Cost/protection frontier: sweeps anonymity-set sizes and record-padding
+// parameters (ScenarioConfig.frontier_*) against one attacker, so every
+// defense family contributes a curve of (bandwidth overhead, residual
+// accuracy) points instead of a single operating point. Writes
+// results/defense_frontier.csv.
+util::Table run_defense_frontier(WikiScenario& scenario);
+
 }  // namespace wf::eval

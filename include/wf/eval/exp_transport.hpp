@@ -1,0 +1,16 @@
+#pragma once
+
+#include "eval/scenario.hpp"
+
+namespace wf::eval {
+
+// Experiment 5 (beyond the paper's figures): packet-level transport
+// fidelity. For every TLS version x HTTP version, an attacker provisioned
+// on clean (loss-free) packet-level traffic is evaluated against fresh
+// captures replayed at growing loss rates — the accuracy-degradation sweep
+// the record-level simulator cannot express. A record-level
+// (transport-disabled) row anchors each TLS block. Writes
+// results/exp5_transport.csv.
+util::Table run_exp5_transport(WikiScenario& scenario);
+
+}  // namespace wf::eval

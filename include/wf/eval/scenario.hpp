@@ -21,6 +21,9 @@ struct ScenarioConfig {
   trace::SequenceOptions seq3;  // per-IP 3-sequence encoding (paper default)
   trace::SequenceOptions seq2;  // directional 2-sequence encoding
   netsim::BrowserConfig browser;
+  // Packet-level transport knobs used by the transport experiment (exp5);
+  // `enabled`, loss and HTTP version are set per arm by the harness.
+  netsim::TransportConfig transport;
   core::EmbeddingConfig embedding3;
   core::EmbeddingConfig embedding2;
   int knn_k = 40;
@@ -41,6 +44,15 @@ struct ScenarioConfig {
   int distinguish_classes = 50;
   int padding_classes = 40;
   int cost_classes = 40;
+
+  int transport_classes = 25;
+  std::vector<double> transport_loss_rates = {0.01, 0.03, 0.08};
+
+  // Defense-frontier sweep (bench_defense_ablation): anonymity-set sizes
+  // and record-padding parameters traded against bandwidth overhead.
+  std::vector<int> frontier_set_sizes = {2, 4, 8, 12};
+  std::vector<std::uint32_t> frontier_pad_multiples = {1024, 4096, 16384};
+  std::vector<std::uint32_t> frontier_random_ranges = {128, 512, 2048};
 
   std::uint64_t site_seed = 4242;
   std::uint64_t crawl_seed = 990001;

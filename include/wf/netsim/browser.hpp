@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "netsim/transport.hpp"
 #include "netsim/website.hpp"
 #include "util/rng.hpp"
 
@@ -63,11 +64,36 @@ struct BrowserConfig {
   double extra_resource_prob = 0.2;     // transient extra fetch (ads, API)
   double cache_hit_prob = 0.15;         // shared theme resource served from cache
   std::uint32_t max_record_payload = 16384;
+  // Packet-level transport under the record layer; disabled reproduces the
+  // idealized record stream bit-identically.
+  TransportConfig transport;
 };
 
-// Simulate one page load and return the observable TLS record trace:
-// handshakes per contacted server, then the request/response records of
-// every resource, interleaved across servers by their latency/throughput.
+// Per-record TLS framing overhead on the wire: 5-byte header plus MAC/IV
+// (1.2, CBC-era) or AEAD tag + content-type byte (1.3).
+std::uint32_t tls_record_overhead(TlsVersion tls);
+
+// Apply the record-padding policy to one application payload (a no-op over
+// TLS 1.2, which has no standard padding). Returns the padded length.
+std::uint32_t pad_record_payload(std::uint32_t payload, TlsVersion tls,
+                                 const RecordPaddingPolicy& policy, util::Rng& rng);
+
+// One wire fetch of a page load, after cache hits, per-load size jitter and
+// the transient extra resource are resolved. Shared by the record-level and
+// packet-level loaders (identical Rng draw order).
+struct ResourceFetch {
+  int server = 0;
+  std::uint32_t bytes = 0;
+};
+std::vector<ResourceFetch> resolve_fetches(const Website& site, const ServerFarm& farm,
+                                           int page_id, const BrowserConfig& config,
+                                           util::Rng& rng);
+
+// Simulate one page load and return the observable trace. With the
+// transport simulator disabled (default): handshakes per contacted server,
+// then the request/response TLS records of every resource, interleaved
+// across servers by their latency/throughput. With it enabled: the same
+// fetches through load_page_packets, observed as wire packets.
 PacketCapture load_page(const Website& site, const ServerFarm& farm, int page_id,
                         const BrowserConfig& config, util::Rng& rng);
 

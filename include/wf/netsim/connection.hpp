@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/browser.hpp"
+#include "netsim/transport.hpp"
+#include "util/rng.hpp"
+
+namespace wf::netsim {
+
+// Sender-side TCP state of one client<->server connection: MSS
+// segmentation, slow-start cwnd pacing, iid segment loss with RTO-delayed
+// retransmission, and delayed ACKs on the reverse path. Every emitted
+// Record is one wire packet (payload + IP/TCP headers); the observer sits
+// next to the client, so outgoing packets are stamped at send time and
+// incoming ones one propagation delay after the server serialized them.
+//
+// Simplifications, on purpose: the congestion window only slow-starts (no
+// congestion avoidance or loss-triggered window collapse), a lost segment
+// is dropped upstream of the observer and its retransmission observed one
+// RTO later, and both directions share the window. Each connection is
+// deterministic in the caller's Rng.
+class TcpConnection {
+ public:
+  TcpConnection(const TransportConfig& config, const Server& server, int server_index);
+
+  double now() const { return clock_ms_; }
+  void wait_until(double t_ms) {
+    if (t_ms > clock_ms_) clock_ms_ = t_ms;
+  }
+
+  // Request propagation + server think time before a response starts.
+  void server_turnaround(util::Rng& rng) {
+    clock_ms_ += server_.latency_ms + rng.uniform(0.0, server_.jitter_ms);
+  }
+
+  // SYN / SYN-ACK / ACK; advances the clock by roughly one RTT.
+  void handshake(util::Rng& rng, std::vector<Record>& out);
+
+  // Segment `record_bytes` of TLS wire data into <=MSS packets in `dir`.
+  // The sum of emitted data payloads always equals `record_bytes`,
+  // regardless of loss (each segment is observed exactly once — the
+  // retransmitted copy replaces the lost original).
+  void send_record(Direction dir, std::uint32_t record_bytes, util::Rng& rng,
+                   std::vector<Record>& out);
+
+  std::uint64_t data_packets() const { return data_packets_; }
+
+ private:
+  void emit_segment(Direction dir, std::uint32_t payload, util::Rng& rng,
+                    std::vector<Record>& out);
+
+  TransportConfig config_;
+  Server server_;
+  int server_index_;
+  double ms_per_byte_;
+
+  double clock_ms_ = 0.0;      // sender-side serialization clock
+  double round_ack_ms_ = 0.0;  // when the current window's ACKs are back
+  std::uint32_t cwnd_;         // segments per round (slow start)
+  std::uint32_t segments_in_round_ = 0;
+  int since_ack_ = 0;
+  std::uint64_t data_packets_ = 0;
+};
+
+}  // namespace wf::netsim

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wf::netsim {
+
+// One planned TLS record of application data on a connection: which stream
+// (resource index on that connection) it carries and its payload bytes
+// (before TLS framing).
+struct RecordPlan {
+  int stream = 0;
+  std::uint32_t payload = 0;
+  bool last = false;  // final record of its stream
+};
+
+// HTTP/1.1 on one connection: responses occupy the connection one at a
+// time, each split into records of at most `max_record` bytes — stream i
+// finishes entirely before stream i+1 starts.
+std::vector<RecordPlan> plan_http1(const std::vector<std::uint32_t>& response_bytes,
+                                   std::uint32_t max_record);
+
+// HTTP/2 on one connection: DATA frames of at most `frame_payload` bytes,
+// scheduled round-robin across the streams still sending; each frame plus
+// its `frame_header` bytes rides in one TLS record. Concurrent responses
+// interleave packet-for-packet instead of queueing.
+std::vector<RecordPlan> plan_http2(const std::vector<std::uint32_t>& response_bytes,
+                                   std::uint32_t frame_payload, std::uint32_t frame_header);
+
+}  // namespace wf::netsim

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+namespace wf::util {
+class Rng;
+}
+
+namespace wf::netsim {
+
+// Application protocol of a page load. kAuto defers to the Website's own
+// version (HTTP/1.1 over parallel connections for the wiki-like site,
+// HTTP/2 single-connection multiplexing for the github-like one).
+enum class HttpVersion : std::uint8_t { kAuto, kHttp1, kHttp2 };
+
+// Packet-level transport model under the TLS record layer. Disabled by
+// default: the simulator then emits idealized whole TLS records exactly as
+// before this subsystem existed (bit-identical captures). Enabled, every
+// TLS record is segmented into <=MSS TCP packets with per-packet IP/TCP
+// header overhead, slow-start cwnd pacing, iid loss with RTO-delayed
+// retransmission, delayed ACKs on the reverse path, and HTTP/1.1 vs HTTP/2
+// fetch scheduling — the observer sees wire packets, not records.
+struct TransportConfig {
+  bool enabled = false;
+
+  // TCP / IP.
+  std::uint32_t mss = 1460;             // TCP payload bytes per segment
+  std::uint32_t packet_overhead = 40;   // IPv4 + TCP headers per packet
+  std::uint32_t initial_cwnd = 10;      // initial window, segments (RFC 6928)
+  std::uint32_t max_cwnd = 64;          // receive-window cap, segments
+  double loss_probability = 0.0;        // iid per-segment loss
+  double rto_ms = 200.0;                // retransmission timeout
+  int ack_every = 2;                    // delayed ACK: one per N data segments
+
+  // HTTP/2 framing (one DATA frame per TLS record when multiplexing).
+  std::uint32_t h2_frame_payload = 8192;
+  std::uint32_t h2_frame_header = 9;
+
+  HttpVersion http = HttpVersion::kAuto;
+};
+
+struct Website;
+struct ServerFarm;
+struct BrowserConfig;
+struct PacketCapture;
+
+// The packet-level page loader (TransportConfig.enabled path). Dispatched
+// to by load_page; deterministic in `rng` like the record-level path.
+PacketCapture load_page_packets(const Website& site, const ServerFarm& farm, int page_id,
+                                const BrowserConfig& config, util::Rng& rng);
+
+}  // namespace wf::netsim

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "netsim/transport.hpp"
+
 namespace wf::netsim {
 
 enum class TlsVersion { kTls12, kTls13 };
@@ -25,6 +27,10 @@ struct Page {
 struct Website {
   std::string name;
   TlsVersion tls = TlsVersion::kTls12;
+  // Fetch model under the packet-level transport (ignored when the
+  // transport simulator is disabled): HTTP/1.1 parallel connections vs
+  // HTTP/2 single-connection multiplexing.
+  HttpVersion http = HttpVersion::kHttp1;
   int n_servers = 1;
   // Per page, resources[0] is the HTML document and the next
   // `theme_resources` entries are the shared immutable theme.
@@ -41,6 +47,7 @@ struct WikiSiteConfig {
   int links_per_page = 8;
   std::uint64_t seed = 1;
   TlsVersion tls = TlsVersion::kTls12;
+  HttpVersion http = HttpVersion::kHttp1;
   int n_servers = 3;
   int theme_resources = 5;
   int min_content_resources = 3;
@@ -55,6 +62,7 @@ struct GithubSiteConfig {
   int links_per_page = 6;
   std::uint64_t seed = 2;
   TlsVersion tls = TlsVersion::kTls13;
+  HttpVersion http = HttpVersion::kHttp2;
   int min_servers = 2;
   int max_servers = 5;
   int theme_resources = 8;

@@ -18,6 +18,17 @@ struct SequenceOptions {
   int n_sequences = 3;
   int timesteps = 64;          // first N records routed to each sequence
   std::uint32_t quantum = 512; // byte-count quantization (§IV-A1)
+  // Packet reassembly for packet-level captures (TransportConfig.enabled):
+  // runs of consecutive same-direction, same-server packets are merged into
+  // one logical record before routing — the view of an observer that
+  // reassembles TCP streams instead of counting wire packets. A no-op in
+  // spirit for record-level captures (adjacent whole records can still
+  // merge), so it defaults to off.
+  bool coalesce_packets = false;
+  // To the reassembling observer, wire units below this size are transport
+  // chrome (pure ACKs, SYNs): dropped, and they do not break a run. Only
+  // consulted when coalesce_packets is set.
+  std::uint32_t coalesce_min_bytes = 64;
 
   std::size_t feature_dim() const {
     return static_cast<std::size_t>(n_sequences) * static_cast<std::size_t>(timesteps);

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.hpp"
+
+namespace wf::util {
+
+// Machine-readable per-binary bench record: mirrors what an experiment
+// binary printed into results/bench_<name>.json (name, params, metrics and
+// the binary's wall time) so the perf trajectory is diffable across
+// commits without scraping stdout.
+class BenchReport {
+ public:
+  // Records the WF_SMOKE state as a param automatically — every bench
+  // honours it and comparing smoke vs full runs would be meaningless.
+  explicit BenchReport(std::string name);
+
+  void param(const std::string& key, const std::string& value);
+  void param(const std::string& key, double value);
+  void metric(const std::string& key, double value);
+
+  // Wall seconds since construction (also written as metric wall_seconds).
+  double seconds() const { return watch_.seconds(); }
+
+  // Writes <dir>/bench_<name>.json.
+  void write(const std::string& dir) const;
+
+ private:
+  std::string name_;
+  Stopwatch watch_;
+  std::vector<std::pair<std::string, std::string>> params_;  // pre-rendered values
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace wf::util

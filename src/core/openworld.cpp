@@ -175,6 +175,47 @@ bool OpenWorldDetector::is_monitored(const ReferenceStore& references,
   return kth_distance(references, embedding) <= threshold_;
 }
 
+std::vector<PrPoint> OpenWorldDetector::precision_recall_sweep(
+    const ReferenceStore& references, const nn::Matrix& monitored,
+    const nn::Matrix& unmonitored, std::size_t max_points) const {
+  std::vector<double> dm = kth_distances(references, monitored);
+  std::vector<double> du = kth_distances(references, unmonitored);
+  std::sort(dm.begin(), dm.end());
+  std::sort(du.begin(), du.end());
+
+  // Candidate thresholds: the union of both distance sets, subsampled
+  // evenly — every achievable operating point lies on one of them.
+  std::vector<double> candidates;
+  candidates.reserve(dm.size() + du.size());
+  candidates.insert(candidates.end(), dm.begin(), dm.end());
+  candidates.insert(candidates.end(), du.begin(), du.end());
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+  if (candidates.empty()) return {};
+
+  const std::size_t n_points = std::max<std::size_t>(1, std::min(max_points, candidates.size()));
+  std::vector<PrPoint> points;
+  points.reserve(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    // Evenly spaced ranks, always including the largest candidate.
+    const std::size_t rank =
+        n_points == 1 ? candidates.size() - 1
+                      : i * (candidates.size() - 1) / (n_points - 1);
+    PrPoint p;
+    p.threshold = candidates[rank];
+    const auto tp = static_cast<std::size_t>(
+        std::upper_bound(dm.begin(), dm.end(), p.threshold) - dm.begin());
+    const auto fp = static_cast<std::size_t>(
+        std::upper_bound(du.begin(), du.end(), p.threshold) - du.begin());
+    if (!dm.empty()) p.recall = static_cast<double>(tp) / static_cast<double>(dm.size());
+    if (!du.empty())
+      p.false_positive_rate = static_cast<double>(fp) / static_cast<double>(du.size());
+    if (tp + fp > 0) p.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+    points.push_back(p);
+  }
+  return points;
+}
+
 OpenWorldMetrics OpenWorldDetector::evaluate(const ReferenceStore& references,
                                              const nn::Matrix& monitored,
                                              const nn::Matrix& unmonitored) const {

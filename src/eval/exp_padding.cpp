@@ -144,4 +144,82 @@ util::Table run_defense_ablation(WikiScenario& scenario) {
   return table;
 }
 
+util::Table run_defense_frontier(WikiScenario& scenario) {
+  const ScenarioConfig& cfg = scenario.config();
+  const int classes = cfg.padding_classes;
+  util::Table table({"Family", "Param", "Top-1", "Top-3", "BW overhead"});
+
+  data::DatasetBuildOptions crawl;
+  crawl.samples_per_class = cfg.samples_per_class;
+  crawl.sequence = cfg.seq3;
+  crawl.browser = cfg.browser;
+  crawl.seed = cfg.crawl_seed + 40'000;
+
+  const netsim::Website& site = scenario.wiki_site(classes, /*tls13=*/true);
+  util::log_info() << "defense frontier: provisioning on unpadded TLS 1.3 traffic";
+  const data::CaptureCorpus plain = data::collect_captures(site, scenario.wiki_farm(), {}, crawl);
+  const data::Dataset plain_dataset = data::encode_corpus(plain, cfg.seq3);
+  const data::SampleSplit split =
+      data::split_samples(plain_dataset, cfg.train_samples_per_class, cfg.split_seed);
+  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
+  attacker.provision(split.first);
+  attacker.initialize(split.first);
+
+  std::uint64_t baseline_bytes = 0;
+  for (const auto& c : plain.captures) baseline_bytes += c.total_bytes();
+
+  const auto add_dataset_row = [&](const std::string& family, const std::string& param,
+                                   const data::Dataset& dataset, double overhead) {
+    const data::SampleSplit s =
+        data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
+    const core::EvaluationResult r = attacker.evaluate(s.second, 5);
+    table.add_row({family, param, util::Table::pct(r.curve.top(1)),
+                   util::Table::pct(r.curve.top(3)), util::Table::pct(overhead, 0)});
+  };
+
+  add_dataset_row("none", "-", plain_dataset, 0.0);
+
+  // Record policies: one recrawl per parameter point.
+  const auto add_policy_row = [&](const std::string& family, const std::string& param,
+                                  const netsim::RecordPaddingPolicy& policy) {
+    data::DatasetBuildOptions padded_crawl = crawl;
+    padded_crawl.browser.record_padding = policy;
+    const data::CaptureCorpus corpus =
+        data::collect_captures(site, scenario.wiki_farm(), {}, padded_crawl);
+    std::uint64_t bytes = 0;
+    for (const auto& c : corpus.captures) bytes += c.total_bytes();
+    add_dataset_row(family, param, data::encode_corpus(corpus, cfg.seq3),
+                    static_cast<double>(bytes) / static_cast<double>(baseline_bytes) - 1.0);
+  };
+  for (const std::uint32_t range : cfg.frontier_random_ranges)
+    add_policy_row("record: random", std::to_string(range) + " B",
+                   {netsim::RecordPaddingPolicy::Kind::kRandom, range});
+  for (const std::uint32_t multiple : cfg.frontier_pad_multiples)
+    add_policy_row("record: pad-to-multiple", std::to_string(multiple) + " B",
+                   {netsim::RecordPaddingPolicy::Kind::kPadToMultiple, multiple});
+
+  // Anonymity sets: growing set size climbs towards site-wide FL padding.
+  util::Rng rng(29);
+  for (const int set_size : cfg.frontier_set_sizes) {
+    if (set_size > classes) continue;
+    const trace::AnonymitySetDefense anon =
+        trace::AnonymitySetDefense::fit(plain.captures, plain.labels, set_size);
+    data::Dataset anon_dataset(cfg.seq3.feature_dim());
+    for (std::size_t i = 0; i < plain.captures.size(); ++i) {
+      const netsim::PacketCapture padded = anon.apply(plain.captures[i], plain.labels[i], rng);
+      anon_dataset.add({trace::encode_capture(padded, cfg.seq3), plain.labels[i]});
+    }
+    add_dataset_row("trace: anonymity sets", "size " + std::to_string(set_size), anon_dataset,
+                    anon.bandwidth_overhead(plain.captures, plain.labels));
+  }
+
+  // Site-wide FL padding: the expensive end of the frontier.
+  const trace::FixedLengthDefense fl = trace::FixedLengthDefense::fit(plain.captures);
+  add_dataset_row("trace: fixed-length", "site max",
+                  data::encode_corpus(plain, cfg.seq3, &fl, 9), fl.bandwidth_overhead(plain.captures));
+
+  table.write_csv(results_dir() + "/defense_frontier.csv");
+  return table;
+}
+
 }  // namespace wf::eval

@@ -1,0 +1,118 @@
+#include "eval/exp_transport.hpp"
+
+namespace wf::eval {
+
+namespace {
+
+double mean_capture_size(const data::CaptureCorpus& corpus) {
+  if (corpus.captures.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& c : corpus.captures) total += c.records.size();
+  return static_cast<double>(total) / static_cast<double>(corpus.captures.size());
+}
+
+}  // namespace
+
+util::Table run_exp5_transport(WikiScenario& scenario) {
+  const ScenarioConfig& cfg = scenario.config();
+  const int classes = cfg.transport_classes;
+  util::Table table({"TLS", "HTTP", "Loss", "Top-1", "Top-3", "Top-5", "Pkts/trace"});
+
+  const auto add_row = [&](const char* tls, const std::string& http, const std::string& loss,
+                           const core::EvaluationResult& r, double pkts) {
+    table.add_row({tls, http, loss, util::Table::pct(r.curve.top(1)),
+                   util::Table::pct(r.curve.top(3)), util::Table::pct(r.curve.top(5)),
+                   util::Table::num(pkts, 1)});
+  };
+
+  for (const bool tls13 : {false, true}) {
+    const char* tls_name = tls13 ? "1.3" : "1.2";
+    const netsim::Website& site = scenario.wiki_site(classes, tls13);
+
+    data::DatasetBuildOptions crawl;
+    crawl.samples_per_class = cfg.samples_per_class;
+    crawl.sequence = cfg.seq3;
+    crawl.browser = cfg.browser;
+    crawl.seed = cfg.crawl_seed + (tls13 ? 130'000 : 120'000);
+
+    // Record-level anchor: the pre-transport simulator's view.
+    {
+      util::log_info() << "exp5: TLS " << tls_name << " record-level baseline";
+      const data::CaptureCorpus corpus =
+          data::collect_captures(site, scenario.wiki_farm(), {}, crawl);
+      const data::Dataset dataset = data::encode_corpus(corpus, cfg.seq3);
+      const data::SampleSplit split =
+          data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
+      core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
+      attacker.provision(split.first);
+      attacker.initialize(split.first);
+      add_row(tls_name, "records", "-", attacker.evaluate(split.second, 10),
+              mean_capture_size(corpus));
+    }
+
+    for (const netsim::HttpVersion http :
+         {netsim::HttpVersion::kHttp1, netsim::HttpVersion::kHttp2}) {
+      const std::string http_name = http == netsim::HttpVersion::kHttp2 ? "2" : "1.1";
+      data::DatasetBuildOptions packet_crawl = crawl;
+      packet_crawl.browser.transport = cfg.transport;
+      packet_crawl.browser.transport.enabled = true;
+      packet_crawl.browser.transport.http = http;
+      packet_crawl.browser.transport.loss_probability = 0.0;
+      packet_crawl.seed =
+          crawl.seed + 1'000 + (http == netsim::HttpVersion::kHttp2 ? 500 : 0);
+
+      util::log_info() << "exp5: TLS " << tls_name << " HTTP/" << http_name
+                       << " packet-level, provisioning on loss-free traffic";
+      const data::CaptureCorpus clean =
+          data::collect_captures(site, scenario.wiki_farm(), {}, packet_crawl);
+
+      // Two observers of the same wire: one counts raw packets, one
+      // reassembles TCP streams first (SequenceOptions.coalesce_packets).
+      trace::SequenceOptions seq_reasm = cfg.seq3;
+      seq_reasm.coalesce_packets = true;
+      core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
+      core::AdaptiveFingerprinter reasm_attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
+      {
+        const data::Dataset clean_dataset = data::encode_corpus(clean, cfg.seq3);
+        const data::SampleSplit split =
+            data::split_samples(clean_dataset, cfg.train_samples_per_class, cfg.split_seed);
+        attacker.provision(split.first);
+        attacker.initialize(split.first);
+        add_row(tls_name, http_name, "0%", attacker.evaluate(split.second, 10),
+                mean_capture_size(clean));
+        const data::Dataset reasm_dataset = data::encode_corpus(clean, seq_reasm);
+        const data::SampleSplit reasm_split =
+            data::split_samples(reasm_dataset, cfg.train_samples_per_class, cfg.split_seed);
+        reasm_attacker.provision(reasm_split.first);
+        reasm_attacker.initialize(reasm_split.first);
+        add_row(tls_name, http_name + "+reasm", "0%",
+                reasm_attacker.evaluate(reasm_split.second, 10), mean_capture_size(clean));
+      }
+
+      // Degradation: fresh captures of the same pages at growing loss,
+      // evaluated on the same held-out protocol as the 0% rows.
+      for (std::size_t li = 0; li < cfg.transport_loss_rates.size(); ++li) {
+        const double loss = cfg.transport_loss_rates[li];
+        data::DatasetBuildOptions lossy_crawl = packet_crawl;
+        lossy_crawl.browser.transport.loss_probability = loss;
+        lossy_crawl.seed = packet_crawl.seed + 7 * (li + 1);
+        const data::CaptureCorpus lossy =
+            data::collect_captures(site, scenario.wiki_farm(), {}, lossy_crawl);
+        const data::SampleSplit lossy_split = data::split_samples(
+            data::encode_corpus(lossy, cfg.seq3), cfg.train_samples_per_class, cfg.split_seed);
+        add_row(tls_name, http_name, util::Table::pct(loss, 0),
+                attacker.evaluate(lossy_split.second, 10), mean_capture_size(lossy));
+        const data::SampleSplit lossy_reasm_split = data::split_samples(
+            data::encode_corpus(lossy, seq_reasm), cfg.train_samples_per_class, cfg.split_seed);
+        add_row(tls_name, http_name + "+reasm", util::Table::pct(loss, 0),
+                reasm_attacker.evaluate(lossy_reasm_split.second, 10),
+                mean_capture_size(lossy));
+      }
+    }
+  }
+
+  table.write_csv(results_dir() + "/exp5_transport.csv");
+  return table;
+}
+
+}  // namespace wf::eval

@@ -33,6 +33,11 @@ ScenarioConfig ScenarioConfig::smoke() {
   config.distinguish_classes = 10;
   config.padding_classes = 8;
   config.cost_classes = 8;
+  config.transport_classes = 8;
+  config.transport_loss_rates = {0.05};
+  config.frontier_set_sizes = {2, 4};
+  config.frontier_pad_multiples = {4096};
+  config.frontier_random_ranges = {512};
   return config;
 }
 

@@ -40,18 +40,13 @@ ServerFarm ServerFarm::for_github() {
   return farm;
 }
 
-namespace {
-
-// Per-record TLS framing overhead on the wire: 5-byte header plus MAC/IV
-// (1.2, CBC-era) or AEAD tag + content-type byte (1.3).
-std::uint32_t tls_overhead(TlsVersion tls) {
+std::uint32_t tls_record_overhead(TlsVersion tls) {
   return tls == TlsVersion::kTls12 ? 29 : 22;
 }
 
-// Apply the record-padding policy to one application payload (TLS 1.3 only;
-// RFC 8446 §5.4). Returns the padded payload length.
-std::uint32_t pad_payload(std::uint32_t payload, const RecordPaddingPolicy& policy,
-                          util::Rng& rng) {
+std::uint32_t pad_record_payload(std::uint32_t payload, TlsVersion tls,
+                                 const RecordPaddingPolicy& policy, util::Rng& rng) {
+  if (tls != TlsVersion::kTls13) return payload;  // RFC 8446 §5.4 is 1.3-only
   switch (policy.kind) {
     case RecordPaddingPolicy::Kind::kNone:
       return payload;
@@ -67,6 +62,8 @@ std::uint32_t pad_payload(std::uint32_t payload, const RecordPaddingPolicy& poli
   return payload;
 }
 
+namespace {
+
 struct Emitter {
   PacketCapture* capture;
   TlsVersion tls;
@@ -74,12 +71,11 @@ struct Emitter {
   util::Rng* rng;
 
   void emit(double time_ms, Direction direction, std::uint32_t payload, int server) {
-    std::uint32_t padded = payload;
-    if (tls == TlsVersion::kTls13) padded = pad_payload(payload, *padding, *rng);
+    const std::uint32_t padded = pad_record_payload(payload, tls, *padding, *rng);
     Record record;
     record.time_ms = time_ms;
     record.direction = direction;
-    record.wire_bytes = padded + tls_overhead(tls);
+    record.wire_bytes = padded + tls_record_overhead(tls);
     record.server = server;
     capture->records.push_back(record);
   }
@@ -87,22 +83,14 @@ struct Emitter {
 
 }  // namespace
 
-PacketCapture load_page(const Website& site, const ServerFarm& farm, int page_id,
-                        const BrowserConfig& config, util::Rng& rng) {
+std::vector<ResourceFetch> resolve_fetches(const Website& site, const ServerFarm& farm,
+                                           int page_id, const BrowserConfig& config,
+                                           util::Rng& rng) {
   if (page_id < 0 || static_cast<std::size_t>(page_id) >= site.pages.size())
     throw std::out_of_range("load_page: bad page id");
   const Page& page = site.pages[static_cast<std::size_t>(page_id)];
 
-  PacketCapture capture;
-  capture.tls = site.tls;
-  Emitter emitter{&capture, site.tls, &config.record_padding, &rng};
-
-  // Collect the resources fetched by this load (with per-load noise).
-  struct Fetch {
-    int server;
-    std::uint32_t bytes;
-  };
-  std::vector<Fetch> fetches;
+  std::vector<ResourceFetch> fetches;
   fetches.reserve(page.resources.size() + 1);
   const std::size_t theme_end = 1 + static_cast<std::size_t>(site.theme_resources);
   for (std::size_t i = 0; i < page.resources.size(); ++i) {
@@ -120,6 +108,18 @@ PacketCapture load_page(const Website& site, const ServerFarm& farm, int page_id
     fetches.push_back({static_cast<int>(rng.index(farm.size())),
                        static_cast<std::uint32_t>(800 + rng.index(8'000))});
   }
+  return fetches;
+}
+
+PacketCapture load_page(const Website& site, const ServerFarm& farm, int page_id,
+                        const BrowserConfig& config, util::Rng& rng) {
+  if (config.transport.enabled) return load_page_packets(site, farm, page_id, config, rng);
+
+  PacketCapture capture;
+  capture.tls = site.tls;
+  Emitter emitter{&capture, site.tls, &config.record_padding, &rng};
+
+  const std::vector<ResourceFetch> fetches = resolve_fetches(site, farm, page_id, config, rng);
 
   // Per-server connection state: the time its pipeline is next free.
   const std::size_t n_servers = farm.size();
@@ -154,7 +154,7 @@ PacketCapture load_page(const Website& site, const ServerFarm& farm, int page_id
 
   const double parallel =
       static_cast<double>(std::max(1, config.parallel_connections));
-  for (const Fetch& fetch : fetches) {
+  for (const ResourceFetch& fetch : fetches) {
     const std::size_t s = static_cast<std::size_t>(fetch.server) % n_servers;
     ensure_connection(fetch.server);
     const Server& server = farm.server(fetch.server);

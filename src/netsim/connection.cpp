@@ -1,0 +1,84 @@
+#include "netsim/connection.hpp"
+
+#include <algorithm>
+
+namespace wf::netsim {
+
+namespace {
+
+Direction opposite(Direction dir) {
+  return dir == Direction::kIncoming ? Direction::kOutgoing : Direction::kIncoming;
+}
+
+Record packet(double time_ms, Direction dir, std::uint32_t wire_bytes, int server) {
+  Record r;
+  r.time_ms = time_ms;
+  r.direction = dir;
+  r.wire_bytes = wire_bytes;
+  r.server = server;
+  return r;
+}
+
+}  // namespace
+
+TcpConnection::TcpConnection(const TransportConfig& config, const Server& server,
+                             int server_index)
+    : config_(config),
+      server_(server),
+      server_index_(server_index),
+      ms_per_byte_(8.0 / (server.mbps * 1e6) * 1e3),
+      cwnd_(std::max<std::uint32_t>(1, config.initial_cwnd)) {}
+
+void TcpConnection::handshake(util::Rng& rng, std::vector<Record>& out) {
+  // SYN and SYN-ACK carry TCP options (MSS, window scale, SACK).
+  const std::uint32_t syn_bytes = config_.packet_overhead + 12;
+  out.push_back(packet(clock_ms_, Direction::kOutgoing, syn_bytes, server_index_));
+  const double syn_ack =
+      clock_ms_ + server_.latency_ms + rng.uniform(0.0, server_.jitter_ms);
+  out.push_back(packet(syn_ack, Direction::kIncoming, syn_bytes, server_index_));
+  out.push_back(
+      packet(syn_ack + 0.05, Direction::kOutgoing, config_.packet_overhead, server_index_));
+  clock_ms_ = syn_ack + 0.05;
+}
+
+void TcpConnection::emit_segment(Direction dir, std::uint32_t payload, util::Rng& rng,
+                                 std::vector<Record>& out) {
+  if (segments_in_round_ >= cwnd_) {
+    // Window exhausted: stall until the round's ACKs return, then grow.
+    clock_ms_ = std::max(clock_ms_, round_ack_ms_);
+    cwnd_ = std::min(cwnd_ * 2, std::max(config_.initial_cwnd, config_.max_cwnd));
+    segments_in_round_ = 0;
+  }
+  clock_ms_ += static_cast<double>(payload) * ms_per_byte_;
+  double observed = dir == Direction::kIncoming
+                        ? clock_ms_ + server_.latency_ms +
+                              rng.uniform(0.0, server_.jitter_ms) * 0.25
+                        : clock_ms_;
+  // iid loss upstream of the observation point: the original copy never
+  // reaches the observer; the retransmission shows up one RTO later (and
+  // may itself be lost again). The guard keeps loss-free runs off the Rng.
+  if (config_.loss_probability > 0.0)
+    while (rng.bernoulli(config_.loss_probability)) observed += config_.rto_ms;
+  out.push_back(packet(observed, dir, payload + config_.packet_overhead, server_index_));
+  ++data_packets_;
+  ++segments_in_round_;
+  round_ack_ms_ = observed + server_.latency_ms;
+  if (config_.ack_every > 0 && ++since_ack_ >= config_.ack_every) {
+    since_ack_ = 0;
+    out.push_back(
+        packet(observed + 0.02, opposite(dir), config_.packet_overhead, server_index_));
+  }
+}
+
+void TcpConnection::send_record(Direction dir, std::uint32_t record_bytes, util::Rng& rng,
+                                std::vector<Record>& out) {
+  const std::uint32_t mss = std::max<std::uint32_t>(1, config_.mss);
+  std::uint32_t remaining = record_bytes;
+  while (remaining > 0) {
+    const std::uint32_t payload = std::min(remaining, mss);
+    emit_segment(dir, payload, rng, out);
+    remaining -= payload;
+  }
+}
+
+}  // namespace wf::netsim

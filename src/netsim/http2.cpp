@@ -1,0 +1,42 @@
+#include "netsim/http2.hpp"
+
+#include <algorithm>
+
+namespace wf::netsim {
+
+std::vector<RecordPlan> plan_http1(const std::vector<std::uint32_t>& response_bytes,
+                                   std::uint32_t max_record) {
+  const std::uint32_t chunk_max = std::max<std::uint32_t>(1, max_record);
+  std::vector<RecordPlan> plan;
+  for (std::size_t stream = 0; stream < response_bytes.size(); ++stream) {
+    std::uint32_t remaining = response_bytes[stream];
+    while (remaining > 0) {
+      const std::uint32_t chunk = std::min(remaining, chunk_max);
+      remaining -= chunk;
+      plan.push_back({static_cast<int>(stream), chunk, remaining == 0});
+    }
+  }
+  return plan;
+}
+
+std::vector<RecordPlan> plan_http2(const std::vector<std::uint32_t>& response_bytes,
+                                   std::uint32_t frame_payload, std::uint32_t frame_header) {
+  const std::uint32_t chunk_max = std::max<std::uint32_t>(1, frame_payload);
+  std::vector<std::uint32_t> remaining = response_bytes;
+  std::vector<RecordPlan> plan;
+  bool active = true;
+  while (active) {
+    active = false;
+    for (std::size_t stream = 0; stream < remaining.size(); ++stream) {
+      if (remaining[stream] == 0) continue;
+      const std::uint32_t chunk = std::min(remaining[stream], chunk_max);
+      remaining[stream] -= chunk;
+      plan.push_back(
+          {static_cast<int>(stream), chunk + frame_header, remaining[stream] == 0});
+      active = active || remaining[stream] > 0;
+    }
+  }
+  return plan;
+}
+
+}  // namespace wf::netsim

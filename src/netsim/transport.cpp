@@ -1,0 +1,131 @@
+#include "netsim/transport.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "netsim/browser.hpp"
+#include "netsim/connection.hpp"
+#include "netsim/http2.hpp"
+#include "util/rng.hpp"
+
+namespace wf::netsim {
+
+namespace {
+
+// Frame one application payload as a TLS record (padding policy + record
+// overhead) and push it through the connection's segmenter.
+void send_tls_record(TcpConnection& conn, Direction dir, std::uint32_t app_payload,
+                     TlsVersion tls, const RecordPaddingPolicy& padding, util::Rng& rng,
+                     std::vector<Record>& out) {
+  const std::uint32_t padded = pad_record_payload(app_payload, tls, padding, rng);
+  conn.send_record(dir, padded + tls_record_overhead(tls), rng, out);
+}
+
+// TLS handshake over the segmented transport; record sizes mirror the
+// record-level simulator (ClientHello, ServerHello + certificate chain,
+// client Finished).
+void tls_handshake(TcpConnection& conn, TlsVersion tls, const BrowserConfig& config,
+                   util::Rng& rng, std::vector<Record>& out) {
+  send_tls_record(conn, Direction::kOutgoing, 240 + static_cast<std::uint32_t>(rng.index(120)),
+                  tls, config.record_padding, rng, out);
+  conn.server_turnaround(rng);
+  std::uint32_t hello = tls == TlsVersion::kTls12
+                            ? 3'400 + static_cast<std::uint32_t>(rng.index(900))
+                            : 2'300 + static_cast<std::uint32_t>(rng.index(600));
+  while (hello > 0) {
+    const std::uint32_t chunk = std::min(hello, config.max_record_payload);
+    send_tls_record(conn, Direction::kIncoming, chunk, tls, config.record_padding, rng, out);
+    hello -= chunk;
+  }
+  send_tls_record(conn, Direction::kOutgoing, 64 + static_cast<std::uint32_t>(rng.index(48)),
+                  tls, config.record_padding, rng, out);
+}
+
+}  // namespace
+
+PacketCapture load_page_packets(const Website& site, const ServerFarm& farm, int page_id,
+                                const BrowserConfig& config, util::Rng& rng) {
+  const TransportConfig& tc = config.transport;
+  const HttpVersion http = tc.http == HttpVersion::kAuto ? site.http : tc.http;
+
+  PacketCapture capture;
+  capture.tls = site.tls;
+  std::vector<Record>& out = capture.records;
+
+  // Same fetch resolution (and Rng draw order) as the record-level loader.
+  const std::vector<ResourceFetch> fetches = resolve_fetches(site, farm, page_id, config, rng);
+
+  // Group response sizes per server, preserving page order.
+  const std::size_t n_servers = farm.size();
+  std::vector<std::vector<std::uint32_t>> per_server(n_servers);
+  for (const ResourceFetch& f : fetches)
+    per_server[static_cast<std::size_t>(f.server) % n_servers].push_back(f.bytes);
+
+  for (std::size_t s = 0; s < n_servers; ++s) {
+    const std::vector<std::uint32_t>& responses = per_server[s];
+    if (responses.empty()) continue;
+    const int server_idx = static_cast<int>(s);
+    const Server& server = farm.server(server_idx);
+
+    // HTTP/2 multiplexes every stream over one connection; HTTP/1.1 fans
+    // out over up to `parallel_connections` connections.
+    const int n_conns =
+        http == HttpVersion::kHttp2
+            ? 1
+            : std::max(1, std::min(config.parallel_connections,
+                                   static_cast<int>(responses.size())));
+
+    std::vector<TcpConnection> conns;
+    conns.reserve(static_cast<std::size_t>(n_conns));
+    for (int c = 0; c < n_conns; ++c) {
+      conns.emplace_back(tc, server, server_idx);
+      conns.back().wait_until(rng.uniform(0.0, 1.5));  // connection stagger
+      conns.back().handshake(rng, out);
+      tls_handshake(conns.back(), site.tls, config, rng, out);
+    }
+
+    if (http == HttpVersion::kHttp2) {
+      TcpConnection& conn = conns.front();
+      // Request HEADERS frames go out back-to-back (HPACK keeps them
+      // small), then the server answers each stream's HEADERS before the
+      // round-robin DATA schedule.
+      for (std::size_t r = 0; r < responses.size(); ++r)
+        send_tls_record(conn, Direction::kOutgoing,
+                        tc.h2_frame_header + 160 + static_cast<std::uint32_t>(rng.index(90)),
+                        site.tls, config.record_padding, rng, out);
+      conn.server_turnaround(rng);
+      for (std::size_t r = 0; r < responses.size(); ++r)
+        send_tls_record(conn, Direction::kIncoming,
+                        tc.h2_frame_header + 120 + static_cast<std::uint32_t>(rng.index(80)),
+                        site.tls, config.record_padding, rng, out);
+      for (const RecordPlan& p : plan_http2(responses, tc.h2_frame_payload, tc.h2_frame_header))
+        send_tls_record(conn, Direction::kIncoming, p.payload, site.tls,
+                        config.record_padding, rng, out);
+    } else {
+      // HTTP/1.1: each response occupies its connection; the next request
+      // goes to whichever connection frees up first.
+      for (const std::uint32_t response : responses) {
+        TcpConnection& conn = *std::min_element(
+            conns.begin(), conns.end(),
+            [](const TcpConnection& a, const TcpConnection& b) { return a.now() < b.now(); });
+        send_tls_record(conn, Direction::kOutgoing,
+                        320 + static_cast<std::uint32_t>(rng.index(180)), site.tls,
+                        config.record_padding, rng, out);
+        conn.server_turnaround(rng);
+        // Response status line + headers, then the body records.
+        send_tls_record(conn, Direction::kIncoming,
+                        180 + static_cast<std::uint32_t>(rng.index(140)), site.tls,
+                        config.record_padding, rng, out);
+        for (const RecordPlan& p : plan_http1({response}, config.max_record_payload))
+          send_tls_record(conn, Direction::kIncoming, p.payload, site.tls,
+                          config.record_padding, rng, out);
+      }
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Record& a, const Record& b) { return a.time_ms < b.time_ms; });
+  return capture;
+}
+
+}  // namespace wf::netsim

@@ -68,6 +68,7 @@ Website make_wiki_site(const WikiSiteConfig& config) {
   Website site;
   site.name = "wiki";
   site.tls = config.tls;
+  site.http = config.http;
   site.n_servers = config.n_servers;
   site.theme_resources = config.theme_resources;
 
@@ -96,6 +97,7 @@ Website make_github_site(const GithubSiteConfig& config) {
   Website site;
   site.name = "github";
   site.tls = config.tls;
+  site.http = config.http;
   site.n_servers = config.max_servers;
   site.theme_resources = config.theme_resources;
 

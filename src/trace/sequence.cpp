@@ -27,19 +27,48 @@ std::vector<float> encode_capture(const netsim::PacketCapture& capture,
   std::vector<float> features(options.feature_dim(), 0.0f);
   std::vector<std::size_t> cursor(static_cast<std::size_t>(options.n_sequences), 0);
 
-  for (const netsim::Record& record : capture.records) {
+  const auto route = [&](netsim::Direction direction, int server, std::uint64_t wire_bytes) {
     std::size_t seq;
-    if (record.direction == netsim::Direction::kOutgoing) {
+    if (direction == netsim::Direction::kOutgoing) {
       seq = 0;
     } else if (options.n_sequences == 2) {
       seq = 1;
     } else {
-      seq = record.server == 0 ? 1 : 2;  // main host vs everything else
+      seq = server == 0 ? 1 : 2;  // main host vs everything else
     }
-    if (cursor[seq] >= t) continue;
-    features[seq * t + cursor[seq]] = encode_size(record.wire_bytes, options.quantum);
+    if (cursor[seq] >= t) return;
+    const std::uint32_t capped = wire_bytes > 0xffffffffull
+                                     ? 0xffffffffu
+                                     : static_cast<std::uint32_t>(wire_bytes);
+    features[seq * t + cursor[seq]] = encode_size(capped, options.quantum);
     ++cursor[seq];
+  };
+
+  if (!options.coalesce_packets) {
+    for (const netsim::Record& record : capture.records)
+      route(record.direction, record.server, record.wire_bytes);
+    return features;
   }
+
+  // Reassembly view: merge each run of consecutive packets that share
+  // direction and server into one logical record.
+  bool open = false;
+  netsim::Direction run_dir = netsim::Direction::kOutgoing;
+  int run_server = 0;
+  std::uint64_t run_bytes = 0;
+  for (const netsim::Record& record : capture.records) {
+    if (record.wire_bytes < options.coalesce_min_bytes) continue;
+    if (open && record.direction == run_dir && record.server == run_server) {
+      run_bytes += record.wire_bytes;
+      continue;
+    }
+    if (open) route(run_dir, run_server, run_bytes);
+    open = true;
+    run_dir = record.direction;
+    run_server = record.server;
+    run_bytes = record.wire_bytes;
+  }
+  if (open) route(run_dir, run_server, run_bytes);
   return features;
 }
 

@@ -1,0 +1,77 @@
+#include "util/bench_report.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace wf::util {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) break;  // drop other control chars
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  std::ostringstream os;
+  os.precision(12);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  param("smoke", std::getenv("WF_SMOKE") != nullptr ? 1.0 : 0.0);
+}
+
+void BenchReport::param(const std::string& key, const std::string& value) {
+  std::string rendered(1, '"');
+  rendered += json_escape(value);
+  rendered += '"';
+  params_.emplace_back(key, std::move(rendered));
+}
+
+void BenchReport::param(const std::string& key, double value) {
+  params_.emplace_back(key, json_number(value));
+}
+
+void BenchReport::metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+void BenchReport::write(const std::string& dir) const {
+  const std::string path = dir + "/bench_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    log_warn() << "BenchReport: cannot write " << path;
+    return;
+  }
+  out << "{\n  \"name\": \"" << json_escape(name_) << "\",\n  \"params\": {";
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    out << (i ? ", " : "") << "\"" << json_escape(params_[i].first)
+        << "\": " << params_[i].second;
+  out << "},\n  \"metrics\": {";
+  for (const auto& [key, value] : metrics_)
+    out << "\"" << json_escape(key) << "\": " << json_number(value) << ", ";
+  out << "\"wall_seconds\": " << json_number(watch_.seconds()) << "}\n}\n";
+}
+
+}  // namespace wf::util

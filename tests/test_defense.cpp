@@ -5,6 +5,7 @@
 #include "netsim/browser.hpp"
 #include "netsim/website.hpp"
 #include "test_common.hpp"
+#include "trace/sequence.hpp"
 
 int main() {
   using namespace wf;
@@ -59,6 +60,59 @@ int main() {
   // shape.
   const netsim::PacketCapture p0 = anon.apply(corpus[0], labels[0], rng);
   CHECK(p0.total_bytes() >= corpus[0].total_bytes());
+
+  // --- Edge cases through FixedLengthDefense: empty corpus, empty capture,
+  // single-record capture, and a corpus with every record on one direction.
+  {
+    // Fit on an empty corpus: all targets zero, apply is the identity on an
+    // empty capture, and overhead is 0 (no division by zero).
+    const trace::FixedLengthDefense none = trace::FixedLengthDefense::fit({});
+    CHECK(none.record_bytes() == 0);
+    CHECK(none.incoming_records() == 0 && none.outgoing_records() == 0);
+    const netsim::PacketCapture empty;
+    const netsim::PacketCapture padded_empty = none.apply(empty, rng);
+    CHECK(padded_empty.records.empty());
+    CHECK(none.bandwidth_overhead({}) == 0.0);
+    CHECK(none.bandwidth_overhead({empty}) == 0.0);
+
+    // Single-record corpus: the padded trace is exactly that one record.
+    netsim::PacketCapture single;
+    netsim::Record r;
+    r.time_ms = 1.0;
+    r.direction = netsim::Direction::kIncoming;
+    r.wire_bytes = 777;
+    r.server = 0;
+    single.records.push_back(r);
+    const trace::FixedLengthDefense one = trace::FixedLengthDefense::fit({single});
+    CHECK(one.record_bytes() == 777);
+    CHECK(one.incoming_records() == 1 && one.outgoing_records() == 0);
+    const netsim::PacketCapture padded_single = one.apply(single, rng);
+    CHECK(padded_single.records.size() == 1);
+    CHECK(padded_single.records[0].wire_bytes == 777);
+
+    // All records on one direction: the dummy tail must stay on that
+    // direction only, and an empty capture pads to the full target shape.
+    netsim::PacketCapture inbound;
+    for (int i = 0; i < 4; ++i) {
+      netsim::Record d = r;
+      d.time_ms = i;
+      d.wire_bytes = 100 * (i + 1);
+      inbound.records.push_back(d);
+    }
+    const trace::FixedLengthDefense in_only = trace::FixedLengthDefense::fit({inbound, single});
+    CHECK(in_only.outgoing_records() == 0);
+    const netsim::PacketCapture padded_from_empty = in_only.apply(empty, rng);
+    CHECK(padded_from_empty.records.size() == in_only.incoming_records());
+    for (const netsim::Record& q : padded_from_empty.records) {
+      CHECK(q.direction == netsim::Direction::kIncoming);
+      CHECK(q.wire_bytes == in_only.record_bytes());
+    }
+
+    // And the padded single-direction corpus encodes without surprises.
+    trace::SequenceOptions seq;
+    const std::vector<float> f = trace::encode_capture(in_only.apply(inbound, rng), seq);
+    CHECK(f.size() == seq.feature_dim());
+  }
 
   return TEST_MAIN_RESULT();
 }

@@ -117,6 +117,52 @@ int main() {
     CHECK(features_equal);
   }
 
+  // --- Same property with the packet-level transport enabled (loss draws
+  // included): byte-identical corpora for any thread count.
+  {
+    netsim::WikiSiteConfig site_config;
+    site_config.n_pages = 8;
+    site_config.seed = 47;
+    const netsim::Website site = netsim::make_wiki_site(site_config);
+    const netsim::ServerFarm farm = netsim::ServerFarm::for_wiki();
+    data::DatasetBuildOptions options;
+    options.samples_per_class = 4;
+    options.seed = 55;
+    options.browser.transport.enabled = true;
+    options.browser.transport.loss_probability = 0.05;
+    options.browser.transport.http = netsim::HttpVersion::kHttp2;
+
+    util::ThreadPool one(1), many(5);
+    const data::CaptureCorpus serial = data::collect_captures(site, farm, {}, options, one);
+    const data::CaptureCorpus parallel = data::collect_captures(site, farm, {}, options, many);
+    CHECK(serial.size() == parallel.size());
+    CHECK(serial.labels == parallel.labels);
+    bool identical = true;
+    for (std::size_t i = 0; i < serial.size() && identical; ++i) {
+      const auto& a = serial.captures[i];
+      const auto& b = parallel.captures[i];
+      identical = a.tls == b.tls && a.records.size() == b.records.size();
+      for (std::size_t r = 0; identical && r < a.records.size(); ++r) {
+        const auto& ra = a.records[r];
+        const auto& rb = b.records[r];
+        identical = ra.time_ms == rb.time_ms && ra.direction == rb.direction &&
+                    ra.wire_bytes == rb.wire_bytes && ra.server == rb.server;
+      }
+    }
+    CHECK(identical);
+
+    // The reassembling encoder is schedule-independent too.
+    trace::SequenceOptions seq;
+    seq.coalesce_packets = true;
+    const data::Dataset da = data::encode_corpus(serial, seq);
+    const data::Dataset db = data::encode_corpus(parallel, seq);
+    CHECK(da.size() == db.size());
+    bool features_equal = true;
+    for (std::size_t i = 0; i < da.size(); ++i)
+      features_equal = features_equal && (da[i].features == db[i].features);
+    CHECK(features_equal);
+  }
+
   // --- GEMM kernels: bit-identical for any pool size.
   {
     util::Rng rng(5);

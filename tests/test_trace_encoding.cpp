@@ -83,5 +83,41 @@ int main() {
   const std::vector<float> fbig = trace::encode_capture(big, seq3);
   CHECK(fbig.size() == seq3.feature_dim());
 
+  // --- Edge cases: empty capture, single-record capture, all records on
+  // one direction — full-width feature vectors, no UB, and the untouched
+  // slots are explicit zeros rather than silently reused memory.
+  {
+    const netsim::PacketCapture empty;
+    for (const bool coalesce : {false, true}) {
+      trace::SequenceOptions opts = seq3;
+      opts.coalesce_packets = coalesce;
+      const std::vector<float> fe = trace::encode_capture(empty, opts);
+      CHECK(fe.size() == opts.feature_dim());
+      for (const float v : fe) CHECK(v == 0.0f);
+    }
+
+    netsim::PacketCapture single;
+    single.records = {record(0.0, Direction::kIncoming, 900, 0)};
+    for (const bool coalesce : {false, true}) {
+      trace::SequenceOptions opts = seq3;
+      opts.coalesce_packets = coalesce;
+      const std::vector<float> fs = trace::encode_capture(single, opts);
+      CHECK(fs.size() == opts.feature_dim());
+      CHECK(fs[t] > 0.0f);  // the one record lands in sequence 1...
+      std::size_t nonzero = 0;
+      for (const float v : fs) nonzero += v > 0.0f ? 1 : 0;
+      CHECK(nonzero == 1);  // ...and nowhere else
+    }
+
+    netsim::PacketCapture one_way;
+    for (int i = 0; i < 5; ++i)
+      one_way.records.push_back(record(i, Direction::kOutgoing, 500 + 100 * i, i % 3));
+    const std::vector<float> fo = trace::encode_capture(one_way, seq3);
+    CHECK(fo.size() == seq3.feature_dim());
+    for (std::size_t i = 0; i < 5; ++i) CHECK(fo[i] > 0.0f);
+    // Both incoming sequences stay all-zero.
+    for (std::size_t i = t; i < 3 * t; ++i) CHECK(fo[i] == 0.0f);
+  }
+
   return TEST_MAIN_RESULT();
 }

@@ -1,0 +1,267 @@
+// Packet-level transport simulator: disabled-mode equivalence with the
+// pre-transport simulator (golden fingerprints), segmentation payload
+// conservation, loss/retransmit determinism, ACK/overhead structure, and
+// HTTP/2 interleaving vs HTTP/1.1 ordering.
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "netsim/browser.hpp"
+#include "netsim/connection.hpp"
+#include "netsim/http2.hpp"
+#include "netsim/transport.hpp"
+#include "netsim/website.hpp"
+#include "test_common.hpp"
+#include "trace/sequence.hpp"
+
+namespace {
+
+using namespace wf;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t capture_hash(const netsim::PacketCapture& c) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const netsim::Record& r : c.records) {
+    std::uint64_t tbits;
+    std::memcpy(&tbits, &r.time_ms, sizeof(tbits));
+    h = fnv1a(h, &tbits, sizeof(tbits));
+    const std::uint8_t dir = static_cast<std::uint8_t>(r.direction);
+    h = fnv1a(h, &dir, sizeof(dir));
+    h = fnv1a(h, &r.wire_bytes, sizeof(r.wire_bytes));
+    h = fnv1a(h, &r.server, sizeof(r.server));
+  }
+  return h;
+}
+
+bool captures_equal(const netsim::PacketCapture& a, const netsim::PacketCapture& b) {
+  if (a.tls != b.tls || a.records.size() != b.records.size()) return false;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const netsim::Record& ra = a.records[i];
+    const netsim::Record& rb = b.records[i];
+    if (ra.time_ms != rb.time_ms || ra.direction != rb.direction ||
+        ra.wire_bytes != rb.wire_bytes || ra.server != rb.server)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using netsim::Direction;
+
+  // --- Disabled transport reproduces the pre-PR record-level simulator
+  // bit-identically (goldens recorded from the pre-transport build).
+  {
+    netsim::WikiSiteConfig sc;
+    sc.n_pages = 6;
+    sc.seed = 17;
+    const netsim::Website site = netsim::make_wiki_site(sc);
+    const netsim::ServerFarm farm = netsim::ServerFarm::for_wiki();
+    util::Rng rng(123);
+    const netsim::PacketCapture c =
+        netsim::load_page(site, farm, 2, netsim::BrowserConfig{}, rng);
+    CHECK(c.records.size() == 87);
+    CHECK(c.total_bytes() == 869390);
+    CHECK(capture_hash(c) == 0xad7ea93aa41b393cull);
+  }
+  {
+    netsim::WikiSiteConfig sc;
+    sc.n_pages = 6;
+    sc.seed = 17;
+    sc.tls = netsim::TlsVersion::kTls13;
+    const netsim::Website site = netsim::make_wiki_site(sc);
+    const netsim::ServerFarm farm = netsim::ServerFarm::for_wiki();
+    netsim::BrowserConfig bc;
+    bc.record_padding = {netsim::RecordPaddingPolicy::Kind::kRandom, 256};
+    util::Rng rng(321);
+    const netsim::PacketCapture c = netsim::load_page(site, farm, 4, bc, rng);
+    CHECK(c.records.size() == 97);
+    CHECK(c.total_bytes() == 1172378);
+    CHECK(capture_hash(c) == 0xc9c34813cbbeb8ddull);
+  }
+  {
+    netsim::GithubSiteConfig sc;
+    sc.n_pages = 5;
+    sc.seed = 9;
+    const netsim::Website site = netsim::make_github_site(sc);
+    const netsim::ServerFarm farm = netsim::ServerFarm::for_github();
+    util::Rng rng(777);
+    const netsim::PacketCapture c =
+        netsim::load_page(site, farm, 3, netsim::BrowserConfig{}, rng);
+    CHECK(c.records.size() == 111);
+    CHECK(c.total_bytes() == 1214417);
+    CHECK(capture_hash(c) == 0xc8a70ae4589c1aabull);
+  }
+
+  // --- TcpConnection: sum of data payloads equals the bytes handed in,
+  // with and without loss; every packet fits in MSS + headers.
+  {
+    netsim::TransportConfig tc;
+    tc.enabled = true;
+    const netsim::Server server{20.0, 4.0, 100.0};
+    for (const double loss : {0.0, 0.3}) {
+      netsim::TransportConfig cfg = tc;
+      cfg.loss_probability = loss;
+      netsim::TcpConnection conn(cfg, server, 0);
+      util::Rng rng(42);
+      std::vector<netsim::Record> out;
+      const std::uint32_t kBytes[] = {100'000, 1, 1460, 1461, 37'777};
+      std::uint64_t fed = 0;
+      for (const std::uint32_t b : kBytes) {
+        conn.send_record(Direction::kIncoming, b, rng, out);
+        fed += b;
+      }
+      std::uint64_t observed = 0;
+      for (const netsim::Record& r : out) {
+        CHECK(r.wire_bytes <= cfg.mss + cfg.packet_overhead);
+        CHECK(r.wire_bytes >= cfg.packet_overhead);
+        if (r.direction == Direction::kIncoming)
+          observed += r.wire_bytes - cfg.packet_overhead;
+        else
+          CHECK(r.wire_bytes == cfg.packet_overhead);  // pure ACK
+      }
+      CHECK(observed == fed);
+      CHECK(conn.data_packets() ==
+            static_cast<std::uint64_t>(69 + 1 + 1 + 2 + 26));  // ceil(bytes/mss) each
+    }
+  }
+
+  // --- Loss/retransmit determinism: identical captures for one seed,
+  // different packet timings for another.
+  {
+    netsim::WikiSiteConfig sc;
+    sc.n_pages = 4;
+    sc.seed = 5;
+    const netsim::Website site = netsim::make_wiki_site(sc);
+    const netsim::ServerFarm farm = netsim::ServerFarm::for_wiki();
+    netsim::BrowserConfig bc;
+    bc.transport.enabled = true;
+    bc.transport.loss_probability = 0.2;
+    util::Rng rng_a(9001), rng_b(9001), rng_c(9002);
+    const netsim::PacketCapture a = netsim::load_page(site, farm, 1, bc, rng_a);
+    const netsim::PacketCapture b = netsim::load_page(site, farm, 1, bc, rng_b);
+    const netsim::PacketCapture c = netsim::load_page(site, farm, 1, bc, rng_c);
+    CHECK(captures_equal(a, b));
+    CHECK(!captures_equal(a, c));
+    CHECK(a.records.size() > 50);  // packet-level: far more wire units
+
+    // Loss delays retransmitted segments by whole RTOs: the lossy load's
+    // last packet lands later than the loss-free load's (at 20% loss some
+    // of the hundreds of segments always retransmit).
+    netsim::BrowserConfig clean = bc;
+    clean.transport.loss_probability = 0.0;
+    util::Rng rng_d(9001);
+    const netsim::PacketCapture d = netsim::load_page(site, farm, 1, clean, rng_d);
+    CHECK(!d.records.empty() && !a.records.empty());
+    CHECK(a.records.back().time_ms > d.records.back().time_ms + bc.transport.rto_ms / 2.0);
+  }
+
+  // --- HTTP/1.1 ordering vs HTTP/2 interleaving (record planners).
+  {
+    const std::vector<std::uint32_t> responses = {30'000, 20'000, 5'000};
+    const auto h1 = netsim::plan_http1(responses, 16'384);
+    // Streams appear in order, each completed before the next starts.
+    int current = 0;
+    std::uint64_t h1_bytes = 0;
+    for (const netsim::RecordPlan& p : h1) {
+      CHECK(p.stream >= current);
+      current = p.stream;
+      h1_bytes += p.payload;
+    }
+    CHECK(h1_bytes == 55'000);
+    CHECK(h1.back().last);
+
+    const auto h2 = netsim::plan_http2(responses, 8'192, 9);
+    // Round-robin: the first three DATA frames hit three distinct streams.
+    CHECK(h2.size() >= 3);
+    CHECK(h2[0].stream == 0 && h2[1].stream == 1 && h2[2].stream == 2);
+    // Stream 0 still has data after stream 2 finished -> true interleaving.
+    bool interleaved = false;
+    bool stream2_done = false;
+    for (const netsim::RecordPlan& p : h2) {
+      if (p.stream == 2 && p.last) stream2_done = true;
+      else if (stream2_done && p.stream == 0) interleaved = true;
+    }
+    CHECK(interleaved);
+    std::uint64_t h2_bytes = 0;
+    for (const netsim::RecordPlan& p : h2) h2_bytes += p.payload - 9;
+    CHECK(h2_bytes == 55'000);
+
+    // End-to-end: HTTP/2 multiplexing produces more, smaller wire units on
+    // the shared connection than HTTP/1.1 for the same page.
+    netsim::WikiSiteConfig sc;
+    sc.n_pages = 4;
+    sc.seed = 5;
+    const netsim::Website site = netsim::make_wiki_site(sc);
+    const netsim::ServerFarm farm = netsim::ServerFarm::for_wiki();
+    netsim::BrowserConfig bc;
+    bc.transport.enabled = true;
+    bc.transport.http = netsim::HttpVersion::kHttp1;
+    util::Rng rng_1(64), rng_2(64);
+    const netsim::PacketCapture h1_cap = netsim::load_page(site, farm, 2, bc, rng_1);
+    bc.transport.http = netsim::HttpVersion::kHttp2;
+    const netsim::PacketCapture h2_cap = netsim::load_page(site, farm, 2, bc, rng_2);
+    CHECK(!captures_equal(h1_cap, h2_cap));
+    CHECK(h1_cap.records.size() > 0 && h2_cap.records.size() > 0);
+  }
+
+  // --- kAuto resolves the HTTP version per Website (github defaults to
+  // HTTP/2, wiki to HTTP/1.1).
+  {
+    netsim::GithubSiteConfig gc;
+    gc.n_pages = 3;
+    const netsim::Website github = netsim::make_github_site(gc);
+    CHECK(github.http == netsim::HttpVersion::kHttp2);
+    netsim::WikiSiteConfig wc;
+    wc.n_pages = 3;
+    const netsim::Website wiki = netsim::make_wiki_site(wc);
+    CHECK(wiki.http == netsim::HttpVersion::kHttp1);
+  }
+
+  // --- Packet reassembly in the encoder: coalescing merges consecutive
+  // same-direction same-server packets, and a segmented record coalesces
+  // back to one logical unit.
+  {
+    netsim::PacketCapture packets;
+    const auto rec = [](double t, Direction d, std::uint32_t bytes, int server) {
+      netsim::Record r;
+      r.time_ms = t;
+      r.direction = d;
+      r.wire_bytes = bytes;
+      r.server = server;
+      return r;
+    };
+    packets.records = {
+        rec(0.0, Direction::kOutgoing, 400, 0),
+        rec(1.0, Direction::kIncoming, 1500, 0),
+        rec(1.1, Direction::kIncoming, 1500, 0),
+        rec(1.2, Direction::kIncoming, 1100, 0),
+        rec(1.3, Direction::kOutgoing, 40, 0),
+        rec(2.0, Direction::kIncoming, 1500, 1),
+    };
+    trace::SequenceOptions flat;
+    flat.quantum = 1;
+    trace::SequenceOptions merged = flat;
+    merged.coalesce_packets = true;
+    const std::vector<float> f = trace::encode_capture(packets, merged);
+    // One merged incoming main-host unit of 4100 B (the 40 B pure ACK is
+    // transport chrome: dropped, and it does not break the run).
+    netsim::PacketCapture whole;
+    whole.records = {rec(0.0, Direction::kOutgoing, 400, 0),
+                     rec(1.0, Direction::kIncoming, 4100, 0),
+                     rec(2.0, Direction::kIncoming, 1500, 1)};
+    CHECK(f == trace::encode_capture(whole, flat));
+    CHECK(f != trace::encode_capture(packets, flat));
+  }
+
+  return TEST_MAIN_RESULT();
+}
