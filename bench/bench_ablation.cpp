@@ -1,201 +1,6 @@
-// Design-choice ablations called out in DESIGN.md (not in the paper's
-// figures, but justifying its Table I choices): pair-sampling strategy,
-// embedding dimensionality, k of the k-NN classifier, byte-count
-// quantization, and per-IP (3-seq) vs directional (2-seq) encoding.
-#include <iostream>
-#include <string>
+// Thin shim kept for CI and scripts: dispatches through the
+// ExperimentRegistry, so this binary and `wf run ablation` emit identical
+// output. The experiment body lives in src/eval/registry.cpp.
+#include "eval/registry.hpp"
 
-#include "core/adaptive.hpp"
-#include "core/openworld.hpp"
-#include "eval/scenario.hpp"
-#include "util/bench_report.hpp"
-#include "util/log.hpp"
-
-namespace {
-
-using namespace wf;
-
-struct AblationWorld {
-  eval::ScenarioConfig cfg;
-  netsim::Website site;
-  netsim::ServerFarm farm;
-  data::CaptureCorpus corpus;
-
-  explicit AblationWorld(int n_classes, int samples_per_class)
-      : cfg(eval::ScenarioConfig::standard()), site([&] {
-          netsim::WikiSiteConfig sc;
-          sc.n_pages = n_classes;
-          sc.seed = 4242;
-          return netsim::make_wiki_site(sc);
-        }()),
-        farm(netsim::ServerFarm::for_wiki()) {
-    data::DatasetBuildOptions opt;
-    opt.sequence = cfg.seq3;
-    opt.browser = cfg.browser;
-    opt.samples_per_class = samples_per_class;
-    opt.seed = 20240;
-    corpus = data::collect_captures(site, farm, {}, opt);
-  }
-};
-
-struct ArmResult {
-  double top1 = 0.0, top5 = 0.0;
-  double train_seconds = 0.0;
-};
-
-ArmResult run_arm(const AblationWorld& world, const trace::SequenceOptions& seq,
-                  core::EmbeddingConfig econfig, data::PairStrategy strategy, int knn_k) {
-  const data::Dataset dataset = data::encode_corpus(world.corpus, seq);
-  const data::SampleSplit split = data::split_samples(dataset, 20, 5);
-  core::AdaptiveFingerprinter attacker(econfig, knn_k, world.cfg.knn_shards);
-  util::Stopwatch watch;
-  attacker.provision(split.first, strategy);
-  ArmResult r;
-  r.train_seconds = watch.seconds();
-  attacker.initialize(split.first);
-  const core::EvaluationResult eval_result = attacker.evaluate(split.second, 10);
-  r.top1 = eval_result.curve.top(1);
-  r.top5 = eval_result.curve.top(5);
-  return r;
-}
-
-}  // namespace
-
-int main() {
-  wf::util::BenchReport report("ablation");
-  const int kClasses = 50;
-  const int kSamples = 25;
-  wf::util::log_info() << "ablation world: " << kClasses << " classes x " << kSamples
-                       << " samples";
-  AblationWorld world(kClasses, kSamples);
-
-  wf::core::EmbeddingConfig base;
-  base.n_sequences = world.cfg.seq3.n_sequences;
-  base.timesteps = world.cfg.seq3.timesteps;
-  base.train_iterations = 500;
-
-  wf::util::Table table({"Ablation", "Arm", "Top-1", "Top-5", "train(s)"});
-  auto add = [&](const std::string& group, const std::string& arm, const ArmResult& r) {
-    table.add_row({group, arm, wf::util::Table::pct(r.top1), wf::util::Table::pct(r.top5),
-                   wf::util::Table::num(r.train_seconds, 1)});
-  };
-
-  // Baseline arm, shared across groups.
-  const ArmResult baseline =
-      run_arm(world, world.cfg.seq3, base, wf::data::PairStrategy::kRandom, world.cfg.knn_k);
-
-  // 1. Pair-sampling strategy (§IV-A2 mentions hard negatives).
-  add("pair strategy", "random", baseline);
-  add("pair strategy", "hard-negative",
-      run_arm(world, world.cfg.seq3, base, wf::data::PairStrategy::kHardNegative,
-              world.cfg.knn_k));
-
-  // 2. Embedding dimensionality (Table I fixes 32).
-  for (const std::size_t dim : {8u, 16u}) {
-    wf::core::EmbeddingConfig c = base;
-    c.embedding_dim = dim;
-    add("embedding dim", std::to_string(dim),
-        run_arm(world, world.cfg.seq3, c, wf::data::PairStrategy::kRandom, world.cfg.knn_k));
-  }
-  add("embedding dim", "32 (paper)", baseline);
-
-  // 3. k of the k-NN classifier (paper: 250 at 90 refs/class).
-  for (const int k : {5, 20, 100}) {
-    // Same model, different classifier k: retrain is wasteful but keeps
-    // the harness simple and arms independent.
-    add("knn k", std::to_string(k),
-        run_arm(world, world.cfg.seq3, base, wf::data::PairStrategy::kRandom, k));
-  }
-
-  // 4. Quantization granularity (§IV-A1 "optionally quantized").
-  for (const std::uint32_t quantum : {1u, 4096u}) {
-    wf::trace::SequenceOptions seq = world.cfg.seq3;
-    seq.quantum = quantum;
-    add("quantization", std::to_string(quantum) + " B",
-        run_arm(world, seq, base, wf::data::PairStrategy::kRandom, world.cfg.knn_k));
-  }
-  add("quantization", "512 B (default)", baseline);
-
-  // 5. Per-IP vs directional encoding (the paper's core representational
-  // claim: TLS exposes server IPs, so use them).
-  {
-    wf::core::EmbeddingConfig c = base;
-    c.n_sequences = 2;
-    add("encoding", "2-seq directional",
-        run_arm(world, world.cfg.seq2, c, wf::data::PairStrategy::kRandom, world.cfg.knn_k));
-    add("encoding", "3-seq per-IP (paper)", baseline);
-  }
-
-  // 6. Training objective: contrastive (paper eq. 1) vs triplet loss
-  // (Triplet Fingerprinting's objective, Table III).
-  {
-    wf::core::EmbeddingConfig c = base;
-    c.objective = wf::core::Objective::kTriplet;
-    add("objective", "triplet",
-        run_arm(world, world.cfg.seq3, c, wf::data::PairStrategy::kRandom, world.cfg.knn_k));
-    add("objective", "contrastive (paper)", baseline);
-  }
-
-  std::cout << "== Ablations over design choices ==\n";
-  table.print();
-
-  // Open-world detection (§VI-C): monitored-set membership before
-  // classification. World: first half of the classes monitored, second
-  // half unknown to the adversary.
-  {
-    wf::util::log_info() << "open-world detection";
-    const wf::data::Dataset dataset = wf::data::encode_corpus(world.corpus, world.cfg.seq3);
-    const wf::data::SampleSplit split = wf::data::split_samples(dataset, 20, 5);
-    const int half = kClasses / 2;
-    auto in_world_refs = wf::eval::label_range(split.first, 0, half);
-    auto in_world_test = wf::eval::label_range(split.second, 0, half);
-    auto out_world_test = wf::eval::label_range(split.second, half, kClasses);
-
-    wf::core::AdaptiveFingerprinter attacker(base, world.cfg.knn_k, world.cfg.knn_shards);
-    attacker.provision(in_world_refs);
-    attacker.initialize(in_world_refs);
-
-    // Embed once: the model does not change across target-TPR settings.
-    const wf::nn::Matrix ref_embeddings = attacker.model().embed_dataset(in_world_refs);
-    const wf::nn::Matrix in_embeddings = attacker.model().embed_dataset(in_world_test);
-    const wf::nn::Matrix out_embeddings = attacker.model().embed_dataset(out_world_test);
-
-    wf::util::Table ow_table({"target TPR", "k-th neighbour", "TPR", "FPR", "precision"});
-    for (const double tpr : {0.90, 0.95, 0.99}) {
-      wf::core::OpenWorldDetector detector({.neighbour = 3, .target_tpr = tpr});
-      // Calibrate on the monitored reference embeddings themselves, so the
-      // TPR measured below on the test split stays out of sample.
-      detector.calibrate(attacker.references(), ref_embeddings);
-      const wf::core::OpenWorldMetrics m =
-          detector.evaluate(attacker.references(), in_embeddings, out_embeddings);
-      ow_table.add_row({wf::util::Table::pct(tpr, 0), "3",
-                        wf::util::Table::pct(m.true_positive_rate),
-                        wf::util::Table::pct(m.false_positive_rate),
-                        wf::util::Table::pct(m.precision)});
-    }
-    std::cout << "\n== Open-world detection (monitored-set membership, §VI-C) ==\n";
-    ow_table.print();
-    ow_table.write_csv(wf::eval::results_dir() + "/openworld.csv");
-
-    // Whole operating curve, not just the calibrated points: per-threshold
-    // precision/recall over the same embeddings.
-    wf::core::OpenWorldDetector sweep_detector({.neighbour = 3, .target_tpr = 0.95});
-    const std::vector<wf::core::PrPoint> curve = sweep_detector.precision_recall_sweep(
-        attacker.references(), in_embeddings, out_embeddings, 24);
-    wf::util::Table pr_table({"threshold", "recall", "FPR", "precision"});
-    for (const wf::core::PrPoint& p : curve)
-      pr_table.add_row({wf::util::Table::num(p.threshold, 4), wf::util::Table::pct(p.recall),
-                        wf::util::Table::pct(p.false_positive_rate),
-                        wf::util::Table::pct(p.precision)});
-    std::cout << "\n== Open-world precision/recall sweep ==\n";
-    pr_table.print();
-    pr_table.write_csv(wf::eval::results_dir() + "/openworld_pr.csv");
-    report.metric("openworld_pr_points", static_cast<double>(pr_table.n_rows()));
-  }
-  table.write_csv(wf::eval::results_dir() + "/ablation.csv");
-  std::cout << "CSV written to results/ablation.csv\n";
-  report.metric("rows", static_cast<double>(table.n_rows()));
-  report.metric("rows_per_s", static_cast<double>(table.n_rows()) / report.seconds());
-  report.write(wf::eval::results_dir());
-  return 0;
-}
+int main() { return wf::eval::run_legacy("bench_ablation"); }

@@ -1,27 +1,6 @@
-// Reproduces Table III (§VIII): operational costs of fingerprinting
-// systems. Prints the published literature table, then measured
-// train/update/test wall-clock for the systems reimplemented here.
-//
-// Paper shape: embedding-based systems update without retraining (cheap
-// adaptation), CNN classifiers must retrain on every target-set change,
-// forest/feature systems sit in between.
-#include <iostream>
+// Thin shim kept for CI and scripts: dispatches through the
+// ExperimentRegistry, so this binary and `wf run costs` emit identical
+// output. The experiment body lives in src/eval/registry.cpp.
+#include "eval/registry.hpp"
 
-#include "eval/exp_costs.hpp"
-#include "util/bench_report.hpp"
-
-int main() {
-  wf::util::BenchReport report("costs");
-  wf::eval::WikiScenario scenario;
-  const wf::eval::CostResult result = wf::eval::run_cost_experiment(scenario);
-  std::cout << "== Table III (as published) ==\n";
-  result.literature.print();
-  std::cout << "\n== Table III (measured on this reproduction) ==\n";
-  result.measured.print();
-  std::cout << "CSVs written to results/table3_*.csv\n";
-  report.metric("rows", static_cast<double>(result.measured.n_rows()));
-  report.metric("rows_per_s",
-                static_cast<double>(result.measured.n_rows()) / report.seconds());
-  report.write(wf::eval::results_dir());
-  return 0;
-}
+int main() { return wf::eval::run_legacy("bench_costs"); }

@@ -1,35 +1,6 @@
-// §VII discussion ablation (beyond the paper's figures): TLS 1.3 record
-// padding policies (none / random / pad-to-multiple / fixed-record) and
-// trace-level defenses (fixed-length, anonymity-set partitioning) —
-// attacker accuracy vs bandwidth overhead — plus the cost/protection
-// frontier sweep over anonymity-set sizes and padding parameters.
-//
-// Expected shape per the paper's discussion: random padding is cheap but
-// weak (Pironti et al.), full FL padding is strong but expensive, and
-// per-website anonymity sets buy protection proportional to set size at
-// much lower cost than site-wide FL.
-#include <iostream>
+// Thin shim kept for CI and scripts: dispatches through the
+// ExperimentRegistry, so this binary and `wf run defense` emit identical
+// output. The experiment body lives in src/eval/registry.cpp.
+#include "eval/registry.hpp"
 
-#include "eval/exp_padding.hpp"
-#include "util/bench_report.hpp"
-
-int main() {
-  wf::util::BenchReport report("defense_ablation");
-  wf::eval::WikiScenario scenario;
-  std::cout << "== Defense ablation: record policies and trace-level padding ==\n";
-  const wf::util::Table table = wf::eval::run_defense_ablation(scenario);
-  table.print();
-  std::cout << "CSV written to results/defense_ablation.csv\n";
-
-  std::cout << "\n== Cost/protection frontier: set sizes x padding parameters ==\n";
-  const wf::util::Table frontier = wf::eval::run_defense_frontier(scenario);
-  frontier.print();
-  std::cout << "CSV written to results/defense_frontier.csv\n";
-
-  report.metric("rows", static_cast<double>(table.n_rows()));
-  report.metric("frontier_rows", static_cast<double>(frontier.n_rows()));
-  report.metric("rows_per_s",
-                static_cast<double>(table.n_rows() + frontier.n_rows()) / report.seconds());
-  report.write(wf::eval::results_dir());
-  return 0;
-}
+int main() { return wf::eval::run_legacy("bench_defense_ablation"); }

@@ -1,31 +1,6 @@
-// Reproduces Fig. 6 (Experiment 1): top-n accuracy of the adaptive
-// fingerprinting adversary on known classes, for growing class counts,
-// over TLS 1.2 — plus the TLS 1.3 version-shift series.
-//
-// Paper shape to check against (at 10x our default class counts):
-//   500 classes:  top-1 ~58%, top-3 >90%, top-10 ~100%
-//   1000 classes: top-1 ~50%, top-10 >90%
-//   3000/6000:    top-1 ~35%, top-10/top-20 >90%
-//   TLS 1.3 (500, version shift): top-3 drops ~95% -> ~70%
-#include <iostream>
+// Thin shim kept for CI and scripts: dispatches through the
+// ExperimentRegistry, so this binary and `wf run exp1` emit identical
+// output. The experiment body lives in src/eval/registry.cpp.
+#include "eval/registry.hpp"
 
-#include "core/embedding_config.hpp"
-#include "eval/exp_static.hpp"
-#include "util/bench_report.hpp"
-
-int main() {
-  wf::util::BenchReport report("exp1_static");
-  wf::eval::WikiScenario scenario;
-  std::cout << "== Table I: embedding network hyperparameters ==\n";
-  wf::core::hyperparameter_table(scenario.config().embedding3).print();
-
-  std::cout << "\n== Fig. 6: static webpage classification (Experiment 1) ==\n"
-            << "(class counts are paper/10 by default; see EXPERIMENTS.md)\n";
-  const wf::util::Table table = wf::eval::run_exp1_static(scenario);
-  table.print();
-  std::cout << "CSV written to results/exp1_static.csv\n";
-  report.metric("rows", static_cast<double>(table.n_rows()));
-  report.metric("rows_per_s", static_cast<double>(table.n_rows()) / report.seconds());
-  report.write(wf::eval::results_dir());
-  return 0;
-}
+int main() { return wf::eval::run_legacy("bench_exp1_static"); }

@@ -1,28 +1,6 @@
-// Reproduces Fig. 7 and Table II (Experiment 2): the Exp. 1 model
-// classifies webpages it never saw during training (extreme
-// distributional shift), and the number of guesses n needed for ~90%
-// accuracy grows sublinearly with the number of classes.
-//
-// Paper shape: accuracy on unseen classes is almost identical to Exp. 1
-// at equal class counts (top-1 ~58% @500, ~50% @1000, top-10 90/80/70%
-// @3000/6000/13000), and n/#classes falls from 0.6% to 0.23%.
-#include <iostream>
+// Thin shim kept for CI and scripts: dispatches through the
+// ExperimentRegistry, so this binary and `wf run exp2` emit identical
+// output. The experiment body lives in src/eval/registry.cpp.
+#include "eval/registry.hpp"
 
-#include "eval/exp_transfer.hpp"
-#include "util/bench_report.hpp"
-
-int main() {
-  wf::util::BenchReport report("exp2_transfer");
-  wf::eval::WikiScenario scenario;
-  std::cout << "== Fig. 7: classification of classes never seen in training ==\n";
-  const wf::eval::Exp2Result result = wf::eval::run_exp2_transfer(scenario);
-  result.accuracy.print();
-  std::cout << "\n== Table II: guesses needed for ~90% accuracy (sublinear in classes) ==\n";
-  result.table2.print();
-  std::cout << "CSVs written to results/exp2_transfer.csv, results/exp2_table2.csv\n";
-  report.metric("rows", static_cast<double>(result.accuracy.n_rows()));
-  report.metric("rows_per_s",
-                static_cast<double>(result.accuracy.n_rows()) / report.seconds());
-  report.write(wf::eval::results_dir());
-  return 0;
-}
+int main() { return wf::eval::run_legacy("bench_exp2_transfer"); }

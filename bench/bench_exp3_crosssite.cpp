@@ -1,25 +1,6 @@
-// Reproduces Fig. 8 (Experiment 3): a two-sequence model trained on the
-// Wikipedia-like site (TLS 1.2) fingerprints the Github-like site
-// (TLS 1.3, different theme, variable server count).
-//
-// Paper shape: the model performs considerably better on its home
-// site/protocol but retains a fair fraction of its accuracy on Github —
-// some leakage characteristics persist across site, encoding and
-// protocol version; theme change hurts the most.
-#include <iostream>
+// Thin shim kept for CI and scripts: dispatches through the
+// ExperimentRegistry, so this binary and `wf run exp3` emit identical
+// output. The experiment body lives in src/eval/registry.cpp.
+#include "eval/registry.hpp"
 
-#include "eval/exp_crosssite.hpp"
-#include "util/bench_report.hpp"
-
-int main() {
-  wf::util::BenchReport report("exp3_crosssite");
-  wf::eval::WikiScenario scenario;
-  std::cout << "== Fig. 8: cross-site / cross-version transfer (2-sequence model) ==\n";
-  const wf::util::Table table = wf::eval::run_exp3_crosssite(scenario);
-  table.print();
-  std::cout << "CSV written to results/exp3_crosssite.csv\n";
-  report.metric("rows", static_cast<double>(table.n_rows()));
-  report.metric("rows_per_s", static_cast<double>(table.n_rows()) / report.seconds());
-  report.write(wf::eval::results_dir());
-  return 0;
-}
+int main() { return wf::eval::run_legacy("bench_exp3_crosssite"); }

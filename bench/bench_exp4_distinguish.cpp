@@ -1,31 +1,6 @@
-// Reproduces Figs. 9/10/11 (Experiment 4): per-class distinguishability.
-// Cumulative distribution of the mean number of guesses needed per
-// class — known classes, unknown classes, and FL-padded traces.
-//
-// Paper shape: known vs unknown distributions look alike; a large
-// fraction of classes needs <2 guesses while a small tail (~3%) stays
-// hard; FL padding pushes the whole distribution right (the <=10-guess
-// fraction under padding is below the <=1-guess fraction without).
-#include <iostream>
+// Thin shim kept for CI and scripts: dispatches through the
+// ExperimentRegistry, so this binary and `wf run exp4` emit identical
+// output. The experiment body lives in src/eval/registry.cpp.
+#include "eval/registry.hpp"
 
-#include "eval/exp_distinguish.hpp"
-#include "util/bench_report.hpp"
-
-int main() {
-  wf::util::BenchReport report("exp4_distinguish");
-  wf::eval::WikiScenario scenario;
-  const wf::eval::Exp4Result result = wf::eval::run_exp4_distinguish(scenario);
-  std::cout << "== Fig. 9: mean guesses per class, known classes (CDF) ==\n";
-  result.known.print();
-  std::cout << "\n== Fig. 10: mean guesses per class, unknown classes (CDF) ==\n";
-  result.unknown.print();
-  std::cout << "\n== Fig. 11: mean guesses per class under FL padding (CDF) ==\n";
-  result.padded.print();
-  std::cout << "CSVs written to results/exp4_*.csv\n";
-  const double rows = static_cast<double>(result.known.n_rows() + result.unknown.n_rows() +
-                                          result.padded.n_rows());
-  report.metric("rows", rows);
-  report.metric("rows_per_s", rows / report.seconds());
-  report.write(wf::eval::results_dir());
-  return 0;
-}
+int main() { return wf::eval::run_legacy("bench_exp4_distinguish"); }

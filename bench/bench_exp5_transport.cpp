@@ -1,28 +1,6 @@
-// Experiment 5 (beyond the paper): packet-level transport fidelity. An
-// attacker provisioned on clean packet-level traffic is evaluated against
-// captures at growing loss rates, for every TLS version x HTTP version,
-// with a record-level baseline row per TLS block.
-//
-// Expected shape: the packet-level view (more, smaller, noisier wire
-// units) costs the attacker some accuracy vs the idealized record stream;
-// HTTP/2 multiplexing interleaves responses and costs more than HTTP/1.1;
-// accuracy degrades further as loss shuffles retransmitted segments.
-#include <iostream>
+// Thin shim kept for CI and scripts: dispatches through the
+// ExperimentRegistry, so this binary and `wf run exp5` emit identical
+// output. The experiment body lives in src/eval/registry.cpp.
+#include "eval/registry.hpp"
 
-#include "eval/exp_transport.hpp"
-#include "util/bench_report.hpp"
-
-int main() {
-  wf::util::BenchReport report("exp5_transport");
-  wf::eval::WikiScenario scenario;
-  report.param("classes", static_cast<double>(scenario.config().transport_classes));
-  std::cout << "== Exp. 5: accuracy under the packet-level transport "
-               "(loss x HTTP version x TLS version) ==\n";
-  const wf::util::Table table = wf::eval::run_exp5_transport(scenario);
-  table.print();
-  std::cout << "CSV written to results/exp5_transport.csv\n";
-  report.metric("rows", static_cast<double>(table.n_rows()));
-  report.metric("rows_per_s", static_cast<double>(table.n_rows()) / report.seconds());
-  report.write(wf::eval::results_dir());
-  return 0;
-}
+int main() { return wf::eval::run_legacy("bench_exp5_transport"); }

@@ -1,24 +1,6 @@
-// Reproduces Figs. 12/13 (§VII): fixed-length padding against the
-// adaptive adversary, on classes seen (Fig. 12) and not seen (Fig. 13)
-// during training.
-//
-// Paper shape: FL padding significantly decreases accuracy in both
-// settings but does not erase it completely; the residual comes from
-// interleaving/order features the total-length padding cannot hide.
-#include <iostream>
+// Thin shim kept for CI and scripts: dispatches through the
+// ExperimentRegistry, so this binary and `wf run padding` emit identical
+// output. The experiment body lives in src/eval/registry.cpp.
+#include "eval/registry.hpp"
 
-#include "eval/exp_padding.hpp"
-#include "util/bench_report.hpp"
-
-int main() {
-  wf::util::BenchReport report("padding");
-  wf::eval::WikiScenario scenario;
-  std::cout << "== Figs. 12/13: fixed-length padding vs the adaptive adversary ==\n";
-  const wf::util::Table table = wf::eval::run_padding_experiment(scenario);
-  table.print();
-  std::cout << "CSV written to results/padding_fl.csv\n";
-  report.metric("rows", static_cast<double>(table.n_rows()));
-  report.metric("rows_per_s", static_cast<double>(table.n_rows()) / report.seconds());
-  report.write(wf::eval::results_dir());
-  return 0;
-}
+int main() { return wf::eval::run_legacy("bench_padding"); }

@@ -1,16 +1,20 @@
 // Quickstart: the complete adaptive-fingerprinting loop on a small
-// simulated website, in ~60 lines of library calls.
+// simulated website, through the public core::Attacker interface.
 //
 //   1. Generate a website and crawl labeled traffic traces.
-//   2. Provision: train the embedding model on positive/negative pairs.
-//   3. Initialize: populate the reference set.
-//   4. Fingerprint: classify a "victim" page load the attacker observes.
+//   2. Train: embedding model on positive/negative pairs + reference set.
+//   3. Fingerprint: classify a "victim" page load the attacker observes.
+//   4. Persist: save the trained attacker, reload it, verify the reloaded
+//      copy ranks identically — train once, redeploy anywhere.
 //
 // Build & run:  build/examples/quickstart
+#include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "core/adaptive.hpp"
 #include "data/splits.hpp"
+#include "io/serialize.hpp"
 #include "netsim/browser.hpp"
 
 using namespace wf;
@@ -31,23 +35,26 @@ int main() {
   const data::Dataset dataset = data::build_dataset(site, farm, {}, crawl);
   const data::SampleSplit split = data::split_samples(dataset, 20, /*seed=*/5);
 
-  // Provision the attack (Table I architecture, scaled-down schedule).
+  // Train the attack (Table I architecture, scaled-down schedule) behind
+  // the polymorphic Attacker interface — swap in eval::attacker_factory
+  // names like "forest" or "kfp-knn" to compare systems.
   core::EmbeddingConfig model_config;
   model_config.train_iterations = 500;
-  core::AdaptiveFingerprinter attacker(model_config, /*knn_k=*/40);
+  std::unique_ptr<core::Attacker> attacker =
+      std::make_unique<core::AdaptiveFingerprinter>(model_config, /*knn_k=*/40);
   std::cout << "training the embedding model...\n";
-  const core::TrainStats stats = attacker.provision(split.first);
+  const core::TrainStats stats = attacker->train(split.first);
   std::cout << "  contrastive loss " << stats.final_loss << ", pair accuracy "
             << util::Table::pct(stats.pair_accuracy) << " in "
             << util::Table::num(stats.seconds, 1) << "s\n";
-  attacker.initialize(split.first);
 
   // The victim loads page 7; the attacker sniffs and classifies it.
   util::Rng victim_rng(777);
   const netsim::PacketCapture sniffed =
       netsim::load_page(site, farm, /*page_id=*/7, netsim::BrowserConfig{}, victim_rng);
-  const std::vector<float> features = trace::encode_capture(sniffed, trace::SequenceOptions{});
-  const auto ranking = attacker.fingerprint(features);
+  data::Dataset observed(dataset.feature_dim());
+  observed.add({trace::encode_capture(sniffed, trace::SequenceOptions{}), 7});
+  const auto ranking = attacker->fingerprint_batch(observed).front();
 
   std::cout << "\nvictim loaded page 7; attacker's top guesses:\n";
   for (std::size_t i = 0; i < std::min<std::size_t>(5, ranking.size()); ++i)
@@ -55,8 +62,20 @@ int main() {
               << " votes)\n";
 
   // Held-out accuracy over all pages.
-  const core::EvaluationResult eval = attacker.evaluate(split.second, 5);
+  const core::EvaluationResult eval = attacker->evaluate(split.second, 5);
   std::cout << "\nheld-out accuracy: top-1 " << util::Table::pct(eval.curve.top(1)) << ", top-3 "
             << util::Table::pct(eval.curve.top(3)) << "\n";
-  return 0;
+
+  // Train once, persist, redeploy: the reloaded attacker must reproduce
+  // the evaluation exactly (wf::io round trips are bit-identical).
+  const std::string model_path = "quickstart_model.wf";
+  attacker->save(model_path);
+  const std::unique_ptr<core::Attacker> reloaded = io::load_attacker(model_path);
+  const core::EvaluationResult again = reloaded->evaluate(split.second, 5);
+  std::cout << "reloaded from " << model_path << ": top-1 "
+            << util::Table::pct(again.curve.top(1))
+            << (again.curve.top(1) == eval.curve.top(1) ? " (bit-identical)" : " (MISMATCH!)")
+            << "\n";
+  std::remove(model_path.c_str());
+  return again.curve.top(1) == eval.curve.top(1) ? 0 : 1;
 }

@@ -8,6 +8,11 @@
 #include "data/dataset.hpp"
 #include "util/rng.hpp"
 
+namespace wf::io {
+class Writer;
+class Reader;
+}  // namespace wf::io
+
 namespace wf::baselines {
 
 struct ForestConfig {
@@ -32,6 +37,15 @@ class RandomForest {
   int predict(std::span<const float> features) const;
 
   std::size_t n_trees() const { return trees_.size(); }
+
+  const ForestConfig& config() const { return config_; }
+
+  // Serialize/restore the fitted trees (wf::io section payloads; the
+  // config travels separately with the owning attacker).
+  void save_trees(io::Writer& out) const;
+  void load_trees(io::Reader& in);
+  // Largest feature index referenced by any node; -1 for leaf-only trees.
+  int max_feature_index() const;
 
  private:
   struct Node {

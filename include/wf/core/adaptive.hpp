@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "core/attacker.hpp"
 #include "core/embedding.hpp"
 #include "core/knn.hpp"
 #include "core/sharded_reference_set.hpp"
@@ -15,54 +17,33 @@
 
 namespace wf::core {
 
-// Cumulative top-n accuracy curve.
-class TopNCurve {
- public:
-  TopNCurve() = default;
-  explicit TopNCurve(std::vector<double> cumulative) : cumulative_(std::move(cumulative)) {}
-
-  // Fraction of samples whose true label ranked within the first n guesses.
-  double top(std::size_t n) const {
-    if (cumulative_.empty() || n == 0) return 0.0;
-    return cumulative_[std::min(n, cumulative_.size()) - 1];
-  }
-
-  std::size_t max_n() const { return cumulative_.size(); }
-
- private:
-  std::vector<double> cumulative_;
-};
-
-struct EvaluationResult {
-  TopNCurve curve;
-  std::size_t n_samples = 0;
-  double seconds = 0.0;
-};
-
 // The paper's adversary in one object (§IV):
 //   provision   — train the embedding model on labeled pairs (once, costly)
 //   initialize  — embed the labeled crawl into the reference set
 //   fingerprint — rank candidate pages for one observed trace
 //   adapt       — probe-and-swap reference refresh, *never* retraining
-class AdaptiveFingerprinter {
+//
+// As an Attacker: train() = provision + initialize, set_references() =
+// initialize, adapt() = adapt_class — re-targeting and adaptation keep the
+// trained embedding fixed, the paper's core operational claim.
+class AdaptiveFingerprinter final : public Attacker {
  public:
   // `n_shards` partitions the reference set for the sharded query paths;
   // 0 resolves via ShardedReferenceSet::default_shard_count() (WF_SHARDS,
   // else one shard per pool thread). Rankings are identical for any count.
   AdaptiveFingerprinter(const EmbeddingConfig& config, int knn_k, std::size_t n_shards = 0);
+  // Placeholder state for Attacker::load / io::load_attacker (single shard,
+  // default config; everything is replaced by load_body).
+  AdaptiveFingerprinter() : AdaptiveFingerprinter(EmbeddingConfig{}, 40, 1) {}
 
   TrainStats provision(const data::Dataset& train,
                        data::PairStrategy strategy = data::PairStrategy::kRandom);
 
   void initialize(const data::Dataset& references);
 
-  std::vector<RankedLabel> fingerprint(std::span<const float> features) const;
-
-  // Batched fingerprinting: embed every trace with one GEMM per layer and
-  // rank all queries against the reference set in one sharded pass.
-  std::vector<std::vector<RankedLabel>> fingerprint_batch(const data::Dataset& traces) const;
-
-  EvaluationResult evaluate(const data::Dataset& test, std::size_t max_n) const;
+  // Scalar latency path: embed one trace, rank it with the zero-alloc
+  // single-query kernel.
+  std::vector<RankedLabel> fingerprint(std::span<const float> features) const override;
 
   // Fraction of probe loads of `label` classified correctly at top-1 —
   // the §IV-C health check deciding whether to refresh a class.
@@ -72,6 +53,22 @@ class AdaptiveFingerprinter {
   // per-shard remove_class compaction plus round-robin re-adds (embedding +
   // swap only; the trained model is untouched).
   void adapt_class(int label, const data::Dataset& fresh);
+
+  // Attacker interface.
+  std::string name() const override { return "adaptive"; }
+  TrainStats train(const data::Dataset& train) override;
+  void set_references(const data::Dataset& references) override { initialize(references); }
+  // Batched fingerprinting: embed every trace with one GEMM per layer and
+  // rank all queries against the reference set in one sharded pass.
+  std::vector<std::vector<RankedLabel>> fingerprint_batch(
+      const data::Dataset& traces) const override;
+  void adapt(int label, const data::Dataset& fresh) override { adapt_class(label, fresh); }
+  std::vector<int> target_classes() const override { return references_.classes(); }
+  std::unique_ptr<Attacker> clone() const override {
+    return std::make_unique<AdaptiveFingerprinter>(*this);
+  }
+  void save_body(io::Writer& out) const override;
+  void load_body(io::Reader& in) override;
 
   const ShardedReferenceSet& references() const { return references_; }
   const EmbeddingModel& model() const { return model_; }

@@ -40,6 +40,11 @@ class EmbeddingModel {
 
   const EmbeddingConfig& config() const { return config_; }
 
+  // Underlying network, exposed for wf::io serialization: a loaded model
+  // replaces the freshly initialized weights through the mutable accessor.
+  const nn::Mlp& net() const { return net_; }
+  nn::Mlp& net() { return net_; }
+
  private:
   // One batched optimizer step: rows of `x` hold the step's samples in pair
   // (a0,b0,a1,b1,...) or triplet (a0,p0,n0,...) order.

@@ -51,6 +51,26 @@ class ShardedReferenceSet final : public ReferenceStore {
   // the global pool — enough to keep every worker on its own shard.
   static std::size_t default_shard_count();
 
+  // Serialization snapshot of one shard's dense tables (wf::io). Restoring
+  // these verbatim — including row ids and the dense class-id space —
+  // reproduces every ranking bit-identically, merge tie-breaks included.
+  struct ShardTables {
+    std::vector<float> data;  // rows x dim, row-major
+    std::vector<int> labels;
+    std::vector<double> sq_norms;
+    std::vector<int> class_ids;
+    std::vector<std::uint64_t> row_ids;
+  };
+  ShardTables shard_tables(std::size_t shard) const;
+  std::uint64_t next_row_id() const { return next_row_id_; }
+  const std::vector<int>& id_to_label() const { return id_to_label_; }
+
+  // Rebuild a set from serialized tables; validates cross-table
+  // consistency and throws std::invalid_argument on mismatch.
+  static ShardedReferenceSet restore(std::size_t dim, std::uint64_t next_row_id,
+                                     std::vector<int> id_to_label,
+                                     std::vector<ShardTables> shards);
+
  private:
   struct Shard {
     std::vector<float> data;  // labels.size() x dim_, row-major

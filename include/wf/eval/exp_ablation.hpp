@@ -1,0 +1,20 @@
+#pragma once
+
+#include "eval/scenario.hpp"
+
+namespace wf::eval {
+
+struct AblationResult {
+  util::Table design;     // design-choice arms (pairs, dims, k, quantization, encoding, loss)
+  util::Table openworld;  // §VI-C calibrated operating points
+  util::Table pr_sweep;   // open-world precision/recall sweep
+};
+
+// Design-choice ablations justifying the paper's Table I, plus the §VI-C
+// open-world detector. The ablation is specific to the adaptive embedding
+// attacker (it sweeps that attacker's internals), so it takes no factory.
+// Honours WF_SMOKE via util::Env. Writes ablation.csv, openworld.csv and
+// openworld_pr.csv under results_dir().
+AblationResult run_ablation_experiment();
+
+}  // namespace wf::eval

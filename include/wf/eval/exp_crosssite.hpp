@@ -7,6 +7,6 @@ namespace wf::eval {
 // Experiment 3 (Fig. 8): a two-sequence model trained on the Wikipedia-like
 // site (TLS 1.2) fingerprints the Github-like site (TLS 1.3, different
 // theme, variable server count). Writes results/exp3_crosssite.csv.
-util::Table run_exp3_crosssite(WikiScenario& scenario);
+util::Table run_exp3_crosssite(WikiScenario& scenario, const AttackerFactory& make_attacker = {});
 
 }  // namespace wf::eval

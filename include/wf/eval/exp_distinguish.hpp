@@ -12,6 +12,6 @@ struct Exp4Result {
 
 // Experiment 4 (Figs. 9-11): per-class distinguishability as the CDF of the
 // mean number of guesses needed per class. Writes results/exp4_*.csv.
-Exp4Result run_exp4_distinguish(WikiScenario& scenario);
+Exp4Result run_exp4_distinguish(WikiScenario& scenario, const AttackerFactory& make_attacker = {});
 
 }  // namespace wf::eval

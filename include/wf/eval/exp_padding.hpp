@@ -7,18 +7,21 @@ namespace wf::eval {
 // Figs. 12/13 (§VII): fixed-length padding against the adaptive adversary,
 // on classes seen and not seen during training. Writes
 // results/padding_fl.csv.
-util::Table run_padding_experiment(WikiScenario& scenario);
+util::Table run_padding_experiment(WikiScenario& scenario,
+                                   const AttackerFactory& make_attacker = {});
 
 // §VII discussion ablation: TLS 1.3 record-padding policies and
 // trace-level defenses, attacker accuracy vs bandwidth overhead. Writes
 // results/defense_ablation.csv.
-util::Table run_defense_ablation(WikiScenario& scenario);
+util::Table run_defense_ablation(WikiScenario& scenario,
+                                 const AttackerFactory& make_attacker = {});
 
 // Cost/protection frontier: sweeps anonymity-set sizes and record-padding
 // parameters (ScenarioConfig.frontier_*) against one attacker, so every
 // defense family contributes a curve of (bandwidth overhead, residual
 // accuracy) points instead of a single operating point. Writes
 // results/defense_frontier.csv.
-util::Table run_defense_frontier(WikiScenario& scenario);
+util::Table run_defense_frontier(WikiScenario& scenario,
+                                 const AttackerFactory& make_attacker = {});
 
 }  // namespace wf::eval

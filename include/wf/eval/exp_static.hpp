@@ -6,7 +6,8 @@ namespace wf::eval {
 
 // Experiment 1 (Fig. 6): closed-world top-n accuracy for growing class
 // counts over TLS 1.2, plus the TLS 1.3 version-shift series. Writes
-// results/exp1_static.csv.
-util::Table run_exp1_static(WikiScenario& scenario);
+// exp1_static.csv under results_dir(). An empty factory runs the paper's
+// adaptive attacker.
+util::Table run_exp1_static(WikiScenario& scenario, const AttackerFactory& make_attacker = {});
 
 }  // namespace wf::eval

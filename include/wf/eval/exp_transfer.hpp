@@ -12,6 +12,6 @@ struct Exp2Result {
 // Experiment 2 (Fig. 7 / Table II): the trained embedding generalizes to
 // webpages that did not exist at training time — only the reference set is
 // built from them. Writes results/exp2_transfer.csv and exp2_table2.csv.
-Exp2Result run_exp2_transfer(WikiScenario& scenario);
+Exp2Result run_exp2_transfer(WikiScenario& scenario, const AttackerFactory& make_attacker = {});
 
 }  // namespace wf::eval

@@ -11,6 +11,6 @@ namespace wf::eval {
 // the record-level simulator cannot express. A record-level
 // (transport-disabled) row anchors each TLS block. Writes
 // results/exp5_transport.csv.
-util::Table run_exp5_transport(WikiScenario& scenario);
+util::Table run_exp5_transport(WikiScenario& scenario, const AttackerFactory& make_attacker = {});
 
 }  // namespace wf::eval

@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/adaptive.hpp"
+#include "core/attacker.hpp"
 #include "data/splits.hpp"
 #include "netsim/browser.hpp"
 #include "util/log.hpp"
@@ -90,7 +93,22 @@ class WikiScenario {
 // Samples whose label falls in [lo, hi).
 data::Dataset label_range(const data::Dataset& dataset, int lo, int hi);
 
-// Ensure and return the CSV output directory ("results").
+// Ensure and return the CSV output directory: WF_RESULTS_DIR / the CLI
+// --out override via util::Env, else "results".
 std::string results_dir();
+
+// Builds the attacker for one experiment arm. `embedding` is the arm's
+// embedding configuration (3-seq or 2-seq encoding); baselines that train
+// no embedding ignore it. Every run_exp* harness takes one of these, so an
+// attacker-ablation sweep is a one-line factory swap.
+using AttackerFactory = std::function<std::unique_ptr<core::Attacker>(
+    const core::EmbeddingConfig& embedding, const ScenarioConfig& cfg)>;
+
+// The paper's adaptive embedding attacker (the harness default).
+AttackerFactory default_attacker_factory();
+// By registry name: "adaptive", "forest", "kfp-knn". Throws
+// std::invalid_argument on an unknown name.
+AttackerFactory attacker_factory(const std::string& name);
+std::vector<std::string> attacker_names();
 
 }  // namespace wf::eval

@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iostream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wf::io {
+
+// Any failure in the serialization layer: short reads, bad magic,
+// unsupported versions, inconsistent section contents.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error("wf::io: " + what) {}
+};
+
+// Little-endian primitive writer over any std::ostream. Integers are
+// emitted byte by byte so the on-disk format is identical on every host;
+// floats/doubles are written via their IEEE-754 bit patterns.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { put(&v, 1); }
+  void u32(std::uint32_t v) {
+    std::uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    put(b, 4);
+  }
+  void u64(std::uint64_t v) {
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    put(b, 8);
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f32(float v) {
+    std::uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    u32(bits);
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    put(s.data(), s.size());
+  }
+  void f32_vec(std::span<const float> v) {
+    u64(v.size());
+    for (const float x : v) f32(x);
+  }
+  void f64_vec(std::span<const double> v) {
+    u64(v.size());
+    for (const double x : v) f64(x);
+  }
+  void i32_vec(std::span<const int> v) {
+    u64(v.size());
+    for (const int x : v) i32(x);
+  }
+  void u64_vec(std::span<const std::uint64_t> v) {
+    u64(v.size());
+    for (const std::uint64_t x : v) u64(x);
+  }
+
+  std::ostream& stream() { return out_; }
+
+ private:
+  void put(const void* data, std::size_t n) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+    if (!out_) throw IoError("write failed");
+  }
+
+  std::ostream& out_;
+};
+
+// Symmetric reader; every accessor throws IoError on a short read, so a
+// truncated or corrupt file surfaces as a clean error instead of garbage.
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v;
+    get(&v, 1);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint8_t b[4];
+    get(b, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint8_t b[8];
+    get(b, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = checked_count(u64(), 1);
+    std::string s(n, '\0');
+    get(s.data(), n);
+    return s;
+  }
+  std::vector<float> f32_vec() {
+    const std::uint64_t n = checked_count(u64(), 4);
+    std::vector<float> v(n);
+    for (auto& x : v) x = f32();
+    return v;
+  }
+  std::vector<double> f64_vec() {
+    const std::uint64_t n = checked_count(u64(), 8);
+    std::vector<double> v(n);
+    for (auto& x : v) x = f64();
+    return v;
+  }
+  std::vector<int> i32_vec() {
+    const std::uint64_t n = checked_count(u64(), 4);
+    std::vector<int> v(n);
+    for (auto& x : v) x = i32();
+    return v;
+  }
+  std::vector<std::uint64_t> u64_vec() {
+    const std::uint64_t n = checked_count(u64(), 8);
+    std::vector<std::uint64_t> v(n);
+    for (auto& x : v) x = u64();
+    return v;
+  }
+
+  std::istream& stream() { return in_; }
+
+ private:
+  // Reject absurd element counts before allocating: a corrupt length field
+  // must raise IoError, not bad_alloc.
+  std::uint64_t checked_count(std::uint64_t n, std::uint64_t elem_bytes) {
+    constexpr std::uint64_t kMaxBytes = std::uint64_t{1} << 34;  // 16 GiB
+    if (n > kMaxBytes / elem_bytes) throw IoError("corrupt length field");
+    return n;
+  }
+
+  void get(void* data, std::size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (in_.gcount() != static_cast<std::streamsize>(n))
+      throw IoError("unexpected end of stream");
+  }
+
+  std::istream& in_;
+};
+
+}  // namespace wf::io

@@ -22,6 +22,16 @@ class Mlp {
   std::size_t input_dim() const;
   std::size_t output_dim() const;
 
+  // Parameter access for serialization/inspection (wf::io). Mutating the
+  // weights through these leaves the Adam moments untouched — a reloaded
+  // model resumes training with a fresh optimizer state.
+  std::size_t n_layers() const { return layers_.size(); }
+  std::vector<std::size_t> layer_sizes() const;  // {input, hidden..., output}
+  const Matrix& layer_weights(std::size_t l) const { return layers_[l].w; }
+  Matrix& layer_weights(std::size_t l) { return layers_[l].w; }
+  const std::vector<float>& layer_bias(std::size_t l) const { return layers_[l].b; }
+  std::vector<float>& layer_bias(std::size_t l) { return layers_[l].b; }
+
   // Plain inference.
   std::vector<float> forward(std::span<const float> x) const;
 

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace wf::util {
+
+// Single home for every WF_* environment knob, replacing the getenv calls
+// that used to be scattered across the thread pool, the sharded reference
+// set, the scenario cache and the bench reports. Accessors parse the
+// environment live (tests flip variables between calls), but a programmatic
+// override — set by the `wf` CLI from flags like --smoke/--out — always
+// wins over the environment.
+class Env {
+ public:
+  // WF_SMOKE: any value switches every experiment to the seconds-scale
+  // smoke configuration.
+  static bool smoke();
+
+  // WF_THREADS: worker count of the global pool, clamped to [1, 512].
+  // Returns 0 when unset or unparsable (callers fall back to the hardware
+  // concurrency).
+  static std::size_t threads();
+
+  // WF_SHARDS: reference-set shard count, clamped to [1, 4096]. Returns 0
+  // when unset or unparsable (callers fall back to one shard per pool
+  // thread).
+  static std::size_t shards();
+
+  // WF_RESULTS_DIR: where experiment CSVs/JSON land; "results" by default.
+  static std::string results_dir();
+
+  // CLI overrides: take precedence over the environment until cleared.
+  static void override_smoke(bool smoke);
+  static void override_threads(std::size_t threads);
+  static void override_shards(std::size_t shards);
+  static void override_results_dir(std::string dir);
+
+  // One log_info line with the effective settings, emitted at most once per
+  // process (every entry point calls it; only the first call prints).
+  static void log_effective();
+};
+
+}  // namespace wf::util

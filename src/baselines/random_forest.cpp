@@ -5,6 +5,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "io/binary.hpp"
+
 namespace wf::baselines {
 
 namespace {
@@ -163,6 +165,65 @@ std::vector<core::RankedLabel> RandomForest::rank(std::span<const float> feature
 int RandomForest::predict(std::span<const float> features) const {
   const std::vector<core::RankedLabel> ranking = rank(features);
   return ranking.empty() ? -1 : ranking.front().label;
+}
+
+void RandomForest::save_trees(io::Writer& out) const {
+  out.u64(trees_.size());
+  for (const Tree& tree : trees_) {
+    out.u64(tree.nodes.size());
+    for (const Node& node : tree.nodes) {
+      out.i32(node.feature);
+      out.f32(node.threshold);
+      out.i32(node.left);
+      out.i32(node.right);
+      out.i32(node.label);
+    }
+  }
+}
+
+void RandomForest::load_trees(io::Reader& in) {
+  const std::uint64_t n_trees = in.u64();
+  if (n_trees > (std::uint64_t{1} << 20)) throw io::IoError("corrupt forest tree count");
+  std::vector<Tree> trees(n_trees);
+  for (Tree& tree : trees) {
+    const std::uint64_t n_nodes = in.u64();
+    // Tight cap: a depth-capped CART tree has at most a few thousand
+    // nodes; 2^22 keeps even absurd configs loadable while bounding the
+    // up-front resize to ~80 MB instead of gigabytes.
+    if (n_nodes < 1 || n_nodes > (std::uint64_t{1} << 22))
+      throw io::IoError("corrupt forest node count");
+    tree.nodes.resize(n_nodes);
+    for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+      Node& node = tree.nodes[i];
+      node.feature = in.i32();
+      node.threshold = in.f32();
+      node.left = in.i32();
+      node.right = in.i32();
+      node.label = in.i32();
+      // grow() appends children after their parent, so a valid internal
+      // node points strictly forward — which also guarantees rank()'s
+      // descent terminates. Leaves carry no links. The feature index is
+      // re-checked against the retained corpus by the owning attacker.
+      if (node.feature < 0) {
+        if (node.left != -1 || node.right != -1)
+          throw io::IoError("corrupt forest node links (leaf with children)");
+      } else {
+        const auto forward = [&](int child) {
+          return child > static_cast<int>(i) && static_cast<std::uint64_t>(child) < n_nodes;
+        };
+        if (!forward(node.left) || !forward(node.right))
+          throw io::IoError("corrupt forest node links");
+      }
+    }
+  }
+  trees_ = std::move(trees);
+}
+
+int RandomForest::max_feature_index() const {
+  int max_feature = -1;
+  for (const Tree& tree : trees_)
+    for (const Node& node : tree.nodes) max_feature = std::max(max_feature, node.feature);
+  return max_feature;
 }
 
 }  // namespace wf::baselines

@@ -1,0 +1,277 @@
+// The single driver binary of the suite:
+//
+//   wf list                                  enumerate experiments/attackers
+//   wf run <exp...|--all> [flags]            run registered experiments
+//   wf train --model FILE [flags]            train an attacker, save it
+//   wf eval  --model FILE [flags]            reload and evaluate a saved attacker
+//
+// Shared flags: --smoke, --out DIR, --threads N, --shards S,
+// --attacker NAME. The legacy bench_* binaries are thin shims over the
+// same registry, so `wf run exp1` and `bench_exp1_static` emit identical
+// CSVs.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/registry.hpp"
+#include "io/serialize.hpp"
+#include "util/bench_report.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+using namespace wf;
+
+struct CliOptions {
+  std::vector<std::string> positional;
+  std::string attacker = "adaptive";
+  std::string model;
+  int classes = 0;  // 0: first exp1 class count of the active scenario
+  bool all = false;
+  bool attacker_given = false;
+};
+
+int usage(int code) {
+  std::cout <<
+      "wf - adaptive webpage fingerprinting driver\n"
+      "\n"
+      "usage:\n"
+      "  wf list                     list experiments and attackers\n"
+      "  wf run <exp...> [flags]     run experiments (or --all for the whole suite)\n"
+      "  wf train [flags]            crawl, train an attacker, save it to --model\n"
+      "  wf eval [flags]             reload --model and evaluate it on the same crawl\n"
+      "  wf help                     this text\n"
+      "\n"
+      "flags:\n"
+      "  --smoke            seconds-scale configuration (same as WF_SMOKE=1)\n"
+      "  --out DIR          results directory (same as WF_RESULTS_DIR; default: results)\n"
+      "  --threads N        worker threads (same as WF_THREADS; set before first use)\n"
+      "  --shards S         reference-set shards (same as WF_SHARDS)\n"
+      "  --attacker NAME    attacker to run/train: adaptive | forest | kfp-knn\n"
+      "  --model FILE       attacker file for train/eval (wf::io format)\n"
+      "  --classes N        train/eval class count (default: the exp1 leading count)\n"
+      "\n"
+      "`wf train` crawls the exp1 scenario, trains the attacker on the train\n"
+      "split, evaluates the held-out split (writes wf_eval.csv) and saves the\n"
+      "model; `wf eval` reloads it and must reproduce wf_eval.csv bit-identically.\n";
+  return code;
+}
+
+// Parses flags (applying Env overrides immediately) and collects
+// positionals. Returns false on a malformed command line.
+bool parse_flags(int argc, char** argv, int first, CliOptions& options) {
+  const auto value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "wf: " << flag << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      util::Env::override_smoke(true);
+    } else if (arg == "--all") {
+      options.all = true;
+    } else if (arg == "--out") {
+      const char* v = value(i, "--out");
+      if (v == nullptr) return false;
+      util::Env::override_results_dir(v);
+    } else if (arg == "--threads" || arg == "--shards") {
+      // Same bounds as the WF_THREADS/WF_SHARDS env vars; a flag the user
+      // typed gets an error instead of the env vars' silent fallback.
+      const bool threads = arg == "--threads";
+      const char* v = value(i, arg == "--threads" ? "--threads" : "--shards");
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const long parsed = std::strtol(v, &end, 10);
+      const long max = threads ? 512 : 4096;
+      if (end == v || *end != '\0' || parsed < 1 || parsed > max) {
+        std::cerr << "wf: " << arg << " must be an integer in [1, " << max << "]\n";
+        return false;
+      }
+      if (threads) {
+        util::Env::override_threads(static_cast<std::size_t>(parsed));
+      } else {
+        util::Env::override_shards(static_cast<std::size_t>(parsed));
+      }
+    } else if (arg == "--attacker") {
+      const char* v = value(i, "--attacker");
+      if (v == nullptr) return false;
+      options.attacker = v;
+      options.attacker_given = true;
+    } else if (arg == "--model") {
+      const char* v = value(i, "--model");
+      if (v == nullptr) return false;
+      options.model = v;
+    } else if (arg == "--classes") {
+      const char* v = value(i, "--classes");
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const long parsed = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || parsed < 1 || parsed > 100000) {
+        std::cerr << "wf: --classes must be an integer in [1, 100000]\n";
+        return false;
+      }
+      options.classes = static_cast<int>(parsed);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "wf: unknown flag " << arg << "\n";
+      return false;
+    } else {
+      options.positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+int cmd_list() {
+  util::Table table({"Experiment", "Legacy binary", "What it reproduces"});
+  for (const eval::Experiment& experiment : eval::experiments())
+    table.add_row({experiment.name, experiment.legacy_binary, experiment.description});
+  table.print();
+  std::cout << "\nattackers (--attacker):";
+  for (const std::string& name : eval::attacker_names()) std::cout << " " << name;
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_run(const CliOptions& options) {
+  std::vector<const eval::Experiment*> selected;
+  if (options.all) {
+    for (const eval::Experiment& experiment : eval::experiments())
+      selected.push_back(&experiment);
+  } else {
+    for (const std::string& name : options.positional) {
+      const eval::Experiment* experiment = eval::find_experiment(name);
+      if (experiment == nullptr) {
+        std::cerr << "wf: unknown experiment \"" << name << "\" (see `wf list`)\n";
+        return 1;
+      }
+      selected.push_back(experiment);
+    }
+  }
+  if (selected.empty()) {
+    std::cerr << "wf: nothing to run (name experiments or pass --all)\n";
+    return 1;
+  }
+  const eval::AttackerFactory factory =
+      options.attacker_given ? eval::attacker_factory(options.attacker)
+                             : eval::AttackerFactory{};
+  util::Env::log_effective();
+  for (const eval::Experiment* experiment : selected) {
+    if (selected.size() > 1)
+      std::cout << "\n=== " << experiment->name << ": " << experiment->description
+                << " ===\n";
+    if (options.attacker_given && !experiment->accepts_attacker)
+      util::log_info() << experiment->name << ": fixed attacker roster; --attacker ignored";
+    const int code = experiment->run(experiment->accepts_attacker ? factory
+                                                                  : eval::AttackerFactory{});
+    if (code != 0) return code;
+  }
+  return 0;
+}
+
+// The shared train/eval scenario: the exp1 crawl of the wiki site at
+// `classes` classes, split into train/held-out halves. Keeping the seeds
+// identical between `wf train` and `wf eval` is what makes the save ->
+// load -> evaluate round trip diffable.
+struct TrainEvalWorld {
+  eval::WikiScenario scenario;
+  int classes;
+  data::SampleSplit split;
+
+  explicit TrainEvalWorld(int requested_classes) {
+    const eval::ScenarioConfig& cfg = scenario.config();
+    classes = requested_classes > 0 ? requested_classes : cfg.exp1_class_counts.front();
+    data::DatasetBuildOptions crawl;
+    crawl.samples_per_class = cfg.samples_per_class;
+    crawl.sequence = cfg.seq3;
+    crawl.browser = cfg.browser;
+    crawl.seed = cfg.crawl_seed + static_cast<std::uint64_t>(classes);
+    const data::Dataset dataset = data::build_dataset(scenario.wiki_site(classes),
+                                                      scenario.wiki_farm(), {}, crawl);
+    split = data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
+  }
+};
+
+void write_eval_table(const core::Attacker& attacker, const TrainEvalWorld& world) {
+  const core::EvaluationResult result = attacker.evaluate(world.split.second, 10);
+  util::Table table({"Attacker", "Classes", "Top-1", "Top-3", "Top-5", "Top-10"});
+  table.add_row({attacker.name(), std::to_string(world.classes),
+                 util::Table::pct(result.curve.top(1)), util::Table::pct(result.curve.top(3)),
+                 util::Table::pct(result.curve.top(5)),
+                 util::Table::pct(result.curve.top(10))});
+  table.print();
+  const std::string csv = eval::results_dir() + "/wf_eval.csv";
+  table.write_csv(csv);
+  std::cout << "CSV written to " << csv << "\n";
+}
+
+int cmd_train(const CliOptions& options) {
+  if (options.model.empty()) {
+    std::cerr << "wf: train needs --model FILE\n";
+    return 1;
+  }
+  util::Env::log_effective();
+  // Resolve the attacker before the crawl so a bad name fails fast.
+  const eval::AttackerFactory factory = eval::attacker_factory(options.attacker);
+  TrainEvalWorld world(options.classes);
+  const eval::ScenarioConfig& cfg = world.scenario.config();
+  const std::unique_ptr<core::Attacker> attacker = factory(cfg.embedding3, cfg);
+  util::log_info() << "training \"" << attacker->name() << "\" on " << world.classes
+                   << " classes (" << world.split.first.size() << " samples)";
+  const core::TrainStats stats = attacker->train(world.split.first);
+  std::cout << "trained " << attacker->name() << " in " << util::Table::num(stats.seconds, 1)
+            << "s\n\n== held-out evaluation ==\n";
+  write_eval_table(*attacker, world);
+  attacker->save(options.model);
+  std::cout << "model saved to " << options.model << "\n";
+  return 0;
+}
+
+int cmd_eval(const CliOptions& options) {
+  if (options.model.empty()) {
+    std::cerr << "wf: eval needs --model FILE\n";
+    return 1;
+  }
+  util::Env::log_effective();
+  const std::unique_ptr<core::Attacker> attacker = io::load_attacker(options.model);
+  util::log_info() << "loaded \"" << attacker->name() << "\" from " << options.model;
+  TrainEvalWorld world(options.classes);
+  // A bit-identical re-evaluation needs the training crawl: refuse a world
+  // whose class set does not match what the model targets, instead of
+  // silently scoring it against the wrong site.
+  if (attacker->target_classes() != world.split.first.classes()) {
+    std::cerr << "wf: model targets " << attacker->target_classes().size()
+              << " classes but the crawl has " << world.split.first.classes().size()
+              << "; pass the --classes/--smoke used at training time\n";
+    return 1;
+  }
+  std::cout << "== held-out evaluation (reloaded model) ==\n";
+  write_eval_table(*attacker, world);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(1);
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") return usage(0);
+
+  CliOptions options;
+  if (!parse_flags(argc, argv, 2, options)) return 1;
+
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(options);
+    if (command == "train") return cmd_train(options);
+    if (command == "eval") return cmd_eval(options);
+  } catch (const std::exception& e) {
+    std::cerr << "wf: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "wf: unknown command \"" << command << "\"\n\n";
+  return usage(1);
+}

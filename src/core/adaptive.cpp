@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "io/serialize.hpp"
+
 namespace wf::core {
 
 AdaptiveFingerprinter::AdaptiveFingerprinter(const EmbeddingConfig& config, int knn_k,
@@ -22,6 +24,12 @@ void AdaptiveFingerprinter::initialize(const data::Dataset& references) {
   references_.add_all(model_.embed_dataset(references), references.labels_of());
 }
 
+TrainStats AdaptiveFingerprinter::train(const data::Dataset& train) {
+  const TrainStats stats = provision(train);
+  initialize(train);
+  return stats;
+}
+
 std::vector<RankedLabel> AdaptiveFingerprinter::fingerprint(
     std::span<const float> features) const {
   const std::vector<float> embedding = model_.embed(features);
@@ -31,37 +39,6 @@ std::vector<RankedLabel> AdaptiveFingerprinter::fingerprint(
 std::vector<std::vector<RankedLabel>> AdaptiveFingerprinter::fingerprint_batch(
     const data::Dataset& traces) const {
   return knn_.rank_batch(references_, model_.embed(traces.to_matrix()));
-}
-
-EvaluationResult AdaptiveFingerprinter::evaluate(const data::Dataset& test,
-                                                 std::size_t max_n) const {
-  util::Stopwatch watch;
-  EvaluationResult result;
-  result.n_samples = test.size();
-  if (test.empty()) return result;
-  std::vector<double> hits(std::max<std::size_t>(1, max_n), 0.0);
-  // Embed the whole test set and rank every query in one batched pass; the
-  // hit aggregation stays serial and in sample order.
-  const std::vector<std::vector<RankedLabel>> rankings = fingerprint_batch(test);
-  for (std::size_t i = 0; i < test.size(); ++i) {
-    const std::vector<RankedLabel>& ranking = rankings[i];
-    for (std::size_t r = 0; r < ranking.size() && r < hits.size(); ++r) {
-      if (ranking[r].label == test[i].label) {
-        hits[r] += 1.0;
-        break;
-      }
-    }
-  }
-  // Cumulate and normalize.
-  std::vector<double> curve(hits.size(), 0.0);
-  double acc = 0.0;
-  for (std::size_t n = 0; n < hits.size(); ++n) {
-    acc += hits[n];
-    curve[n] = acc / static_cast<double>(test.size());
-  }
-  result.curve = TopNCurve(std::move(curve));
-  result.seconds = watch.seconds();
-  return result;
 }
 
 double AdaptiveFingerprinter::probe_class_accuracy(int label, const data::Dataset& probe) const {
@@ -82,6 +59,51 @@ void AdaptiveFingerprinter::adapt_class(int label, const data::Dataset& fresh) {
   const nn::Matrix embeddings = model_.embed_dataset(mine);
   for (std::size_t i = 0; i < embeddings.rows(); ++i)
     references_.add(embeddings.row_span(i), label);
+}
+
+void AdaptiveFingerprinter::save_body(io::Writer& out) const {
+  io::write_section(out, "CONF",
+                    [&](io::Writer& w) { io::save_embedding_config(w, model_.config()); });
+  io::write_section(out, "KNNC", [&](io::Writer& w) {
+    w.i32(knn_.k());
+    w.u64(n_shards_);
+  });
+  io::write_section(out, "MLPW", [&](io::Writer& w) { io::save_mlp(w, model_.net()); });
+  io::write_section(out, "REFS",
+                    [&](io::Writer& w) { io::save_reference_set(w, references_); });
+}
+
+void AdaptiveFingerprinter::load_body(io::Reader& in) {
+  const EmbeddingConfig config = io::parse_section(
+      in, "CONF", [](io::Reader& r) { return io::load_embedding_config(r); });
+  int k = 0;
+  std::uint64_t n_shards = 0;
+  io::parse_section(in, "KNNC", [&](io::Reader& r) {
+    k = r.i32();
+    n_shards = r.u64();
+    return 0;
+  });
+  if (k < 1 || n_shards < 1) throw io::IoError("corrupt attacker k-NN parameters");
+  nn::Mlp net =
+      io::parse_section(in, "MLPW", [](io::Reader& r) { return io::load_mlp(r); });
+  // The whole architecture — not just the endpoints — must agree with the
+  // config, since EmbeddingModel(config) below rebuilds the net from it.
+  std::vector<std::size_t> expected_sizes;
+  expected_sizes.push_back(config.input_dim());
+  expected_sizes.insert(expected_sizes.end(), config.hidden.begin(), config.hidden.end());
+  expected_sizes.push_back(config.embedding_dim);
+  if (net.layer_sizes() != expected_sizes)
+    throw io::IoError("MLP architecture does not match the stored embedding config");
+  ShardedReferenceSet references = io::parse_section(
+      in, "REFS", [](io::Reader& r) { return io::load_reference_set(r); });
+  if (references.dim() != config.embedding_dim)
+    throw io::IoError("reference-set width does not match the stored embedding config");
+
+  model_ = EmbeddingModel(config);
+  model_.net() = std::move(net);
+  n_shards_ = n_shards;
+  references_ = std::move(references);
+  knn_ = KnnClassifier(k);
 }
 
 }  // namespace wf::core

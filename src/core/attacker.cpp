@@ -1,0 +1,58 @@
+#include "core/attacker.hpp"
+
+#include <fstream>
+
+#include "io/serialize.hpp"
+#include "util/stopwatch.hpp"
+
+namespace wf::core {
+
+std::vector<RankedLabel> Attacker::fingerprint(std::span<const float> features) const {
+  data::Dataset one(features.size());
+  one.add({{features.begin(), features.end()}, 0});
+  return fingerprint_batch(one).front();
+}
+
+EvaluationResult Attacker::evaluate(const data::Dataset& test, std::size_t max_n) const {
+  util::Stopwatch watch;
+  EvaluationResult result;
+  result.n_samples = test.size();
+  if (test.empty()) return result;
+  std::vector<double> hits(std::max<std::size_t>(1, max_n), 0.0);
+  // Rank every query in one batched pass; the hit aggregation stays serial
+  // and in sample order.
+  const std::vector<std::vector<RankedLabel>> rankings = fingerprint_batch(test);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const std::vector<RankedLabel>& ranking = rankings[i];
+    for (std::size_t r = 0; r < ranking.size() && r < hits.size(); ++r) {
+      if (ranking[r].label == test[i].label) {
+        hits[r] += 1.0;
+        break;
+      }
+    }
+  }
+  // Cumulate and normalize.
+  std::vector<double> curve(hits.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t n = 0; n < hits.size(); ++n) {
+    acc += hits[n];
+    curve[n] = acc / static_cast<double>(test.size());
+  }
+  result.curve = TopNCurve(std::move(curve));
+  result.seconds = watch.seconds();
+  return result;
+}
+
+void Attacker::save(const std::string& path) const { io::save_attacker(path, *this); }
+
+void Attacker::load(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw io::IoError("cannot open " + path);
+  io::Reader in(file);
+  const std::string stored = io::read_attacker_name(in);
+  if (stored != name())
+    throw io::IoError("file holds a \"" + stored + "\" attacker, not \"" + name() + "\"");
+  load_body(in);
+}
+
+}  // namespace wf::core

@@ -1,9 +1,9 @@
 #include "core/sharded_reference_set.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <stdexcept>
 
+#include "util/env.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wf::core {
@@ -14,11 +14,7 @@ ShardedReferenceSet::ShardedReferenceSet(std::size_t dim, std::size_t n_shards) 
 }
 
 std::size_t ShardedReferenceSet::default_shard_count() {
-  if (const char* env = std::getenv("WF_SHARDS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v > 0) return static_cast<std::size_t>(std::min<long>(v, 4096));
-  }
+  if (const std::size_t configured = util::Env::shards(); configured > 0) return configured;
   return util::global_pool().size();
 }
 
@@ -83,6 +79,48 @@ void ShardedReferenceSet::rebuild_class_ids() {
       shard.class_ids[i] = it->second;
     }
   }
+}
+
+ShardedReferenceSet::ShardTables ShardedReferenceSet::shard_tables(std::size_t shard) const {
+  const Shard& s = shards_[shard];
+  return {s.data, s.labels, s.sq_norms, s.class_ids, s.row_ids};
+}
+
+ShardedReferenceSet ShardedReferenceSet::restore(std::size_t dim, std::uint64_t next_row_id,
+                                                 std::vector<int> id_to_label,
+                                                 std::vector<ShardTables> shards) {
+  if (shards.empty()) throw std::invalid_argument("ShardedReferenceSet::restore: no shards");
+  ShardedReferenceSet out(dim, shards.size());
+  out.next_row_id_ = next_row_id;
+  out.id_to_label_ = std::move(id_to_label);
+  for (std::size_t id = 0; id < out.id_to_label_.size(); ++id)
+    out.label_to_id_.emplace(out.id_to_label_[id], static_cast<int>(id));
+  for (std::size_t si = 0; si < shards.size(); ++si) {
+    ShardTables& t = shards[si];
+    const std::size_t rows = t.labels.size();
+    // Overflow-safe rows x dim check: divide instead of multiplying.
+    const bool data_consistent =
+        rows == 0 ? t.data.empty()
+                  : (dim != 0 && t.data.size() / dim == rows && t.data.size() % dim == 0);
+    if (!data_consistent || t.sq_norms.size() != rows || t.class_ids.size() != rows ||
+        t.row_ids.size() != rows)
+      throw std::invalid_argument("ShardedReferenceSet::restore: inconsistent shard tables");
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (t.class_ids[i] < 0 ||
+          static_cast<std::size_t>(t.class_ids[i]) >= out.id_to_label_.size() ||
+          out.id_to_label_[static_cast<std::size_t>(t.class_ids[i])] != t.labels[i] ||
+          t.row_ids[i] >= next_row_id)
+        throw std::invalid_argument("ShardedReferenceSet::restore: corrupt id tables");
+    }
+    Shard& s = out.shards_[si];
+    s.data = std::move(t.data);
+    s.labels = std::move(t.labels);
+    s.sq_norms = std::move(t.sq_norms);
+    s.class_ids = std::move(t.class_ids);
+    s.row_ids = std::move(t.row_ids);
+    out.size_ += rows;
+  }
+  return out;
 }
 
 ShardView ShardedReferenceSet::shard_view(std::size_t shard) const {

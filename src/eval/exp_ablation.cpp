@@ -1,0 +1,199 @@
+// Design-choice ablations called out in DESIGN.md (not in the paper's
+// figures, but justifying its Table I choices): pair-sampling strategy,
+// embedding dimensionality, k of the k-NN classifier, byte-count
+// quantization, per-IP (3-seq) vs directional (2-seq) encoding, and the
+// training objective — plus the §VI-C open-world detector.
+#include "eval/exp_ablation.hpp"
+
+#include <string>
+
+#include "core/openworld.hpp"
+#include "util/env.hpp"
+
+namespace wf::eval {
+
+namespace {
+
+struct AblationWorld {
+  ScenarioConfig cfg;
+  netsim::Website site;
+  netsim::ServerFarm farm;
+  data::CaptureCorpus corpus;
+
+  explicit AblationWorld(int n_classes, int samples_per_class)
+      : cfg(ScenarioConfig::standard()), site([&] {
+          netsim::WikiSiteConfig sc;
+          sc.n_pages = n_classes;
+          sc.seed = 4242;
+          return netsim::make_wiki_site(sc);
+        }()),
+        farm(netsim::ServerFarm::for_wiki()) {
+    data::DatasetBuildOptions opt;
+    opt.sequence = cfg.seq3;
+    opt.browser = cfg.browser;
+    opt.samples_per_class = samples_per_class;
+    opt.seed = 20240;
+    corpus = data::collect_captures(site, farm, {}, opt);
+  }
+};
+
+struct ArmResult {
+  double top1 = 0.0, top5 = 0.0;
+  double train_seconds = 0.0;
+};
+
+ArmResult run_arm(const AblationWorld& world, const trace::SequenceOptions& seq,
+                  core::EmbeddingConfig econfig, data::PairStrategy strategy, int knn_k,
+                  int train_per_class) {
+  const data::Dataset dataset = data::encode_corpus(world.corpus, seq);
+  const data::SampleSplit split = data::split_samples(dataset, train_per_class, 5);
+  core::AdaptiveFingerprinter attacker(econfig, knn_k, world.cfg.knn_shards);
+  util::Stopwatch watch;
+  attacker.provision(split.first, strategy);
+  ArmResult r;
+  r.train_seconds = watch.seconds();
+  attacker.initialize(split.first);
+  const core::EvaluationResult eval_result = attacker.evaluate(split.second, 10);
+  r.top1 = eval_result.curve.top(1);
+  r.top5 = eval_result.curve.top(5);
+  return r;
+}
+
+}  // namespace
+
+AblationResult run_ablation_experiment() {
+  // World size follows the smoke switch like every other experiment.
+  const bool smoke = util::Env::smoke();
+  const int kClasses = smoke ? 12 : 50;
+  const int kSamples = smoke ? 15 : 25;
+  const int kTrainPerClass = smoke ? 10 : 20;
+  util::log_info() << "ablation world: " << kClasses << " classes x " << kSamples
+                   << " samples";
+  AblationWorld world(kClasses, kSamples);
+
+  core::EmbeddingConfig base;
+  base.n_sequences = world.cfg.seq3.n_sequences;
+  base.timesteps = world.cfg.seq3.timesteps;
+  base.train_iterations = smoke ? 200 : 500;
+
+  AblationResult result{
+      util::Table({"Ablation", "Arm", "Top-1", "Top-5", "train(s)"}),
+      util::Table({"target TPR", "k-th neighbour", "TPR", "FPR", "precision"}),
+      util::Table({"threshold", "recall", "FPR", "precision"}),
+  };
+  auto add = [&](const std::string& group, const std::string& arm, const ArmResult& r) {
+    result.design.add_row({group, arm, util::Table::pct(r.top1), util::Table::pct(r.top5),
+                           util::Table::num(r.train_seconds, 1)});
+  };
+  const auto arm = [&](const trace::SequenceOptions& seq, const core::EmbeddingConfig& econfig,
+                       data::PairStrategy strategy, int knn_k) {
+    return run_arm(world, seq, econfig, strategy, knn_k, kTrainPerClass);
+  };
+
+  // Baseline arm, shared across groups.
+  const ArmResult baseline =
+      arm(world.cfg.seq3, base, data::PairStrategy::kRandom, world.cfg.knn_k);
+
+  // 1. Pair-sampling strategy (§IV-A2 mentions hard negatives).
+  add("pair strategy", "random", baseline);
+  add("pair strategy", "hard-negative",
+      arm(world.cfg.seq3, base, data::PairStrategy::kHardNegative, world.cfg.knn_k));
+
+  // 2. Embedding dimensionality (Table I fixes 32).
+  for (const std::size_t dim : {8u, 16u}) {
+    core::EmbeddingConfig c = base;
+    c.embedding_dim = dim;
+    add("embedding dim", std::to_string(dim),
+        arm(world.cfg.seq3, c, data::PairStrategy::kRandom, world.cfg.knn_k));
+  }
+  add("embedding dim", "32 (paper)", baseline);
+
+  // 3. k of the k-NN classifier (paper: 250 at 90 refs/class).
+  for (const int k : {5, 20, 100}) {
+    // Same model, different classifier k: retrain is wasteful but keeps
+    // the harness simple and arms independent.
+    add("knn k", std::to_string(k),
+        arm(world.cfg.seq3, base, data::PairStrategy::kRandom, k));
+  }
+
+  // 4. Quantization granularity (§IV-A1 "optionally quantized").
+  for (const std::uint32_t quantum : {1u, 4096u}) {
+    trace::SequenceOptions seq = world.cfg.seq3;
+    seq.quantum = quantum;
+    add("quantization", std::to_string(quantum) + " B",
+        arm(seq, base, data::PairStrategy::kRandom, world.cfg.knn_k));
+  }
+  add("quantization", "512 B (default)", baseline);
+
+  // 5. Per-IP vs directional encoding (the paper's core representational
+  // claim: TLS exposes server IPs, so use them).
+  {
+    core::EmbeddingConfig c = base;
+    c.n_sequences = 2;
+    add("encoding", "2-seq directional",
+        arm(world.cfg.seq2, c, data::PairStrategy::kRandom, world.cfg.knn_k));
+    add("encoding", "3-seq per-IP (paper)", baseline);
+  }
+
+  // 6. Training objective: contrastive (paper eq. 1) vs triplet loss
+  // (Triplet Fingerprinting's objective, Table III).
+  {
+    core::EmbeddingConfig c = base;
+    c.objective = core::Objective::kTriplet;
+    add("objective", "triplet",
+        arm(world.cfg.seq3, c, data::PairStrategy::kRandom, world.cfg.knn_k));
+    add("objective", "contrastive (paper)", baseline);
+  }
+
+  // Open-world detection (§VI-C): monitored-set membership before
+  // classification. World: first half of the classes monitored, second
+  // half unknown to the adversary.
+  {
+    util::log_info() << "ablation: open-world detection";
+    const data::Dataset dataset = data::encode_corpus(world.corpus, world.cfg.seq3);
+    const data::SampleSplit split = data::split_samples(dataset, kTrainPerClass, 5);
+    const int half = kClasses / 2;
+    auto in_world_refs = label_range(split.first, 0, half);
+    auto in_world_test = label_range(split.second, 0, half);
+    auto out_world_test = label_range(split.second, half, kClasses);
+
+    core::AdaptiveFingerprinter attacker(base, world.cfg.knn_k, world.cfg.knn_shards);
+    attacker.provision(in_world_refs);
+    attacker.initialize(in_world_refs);
+
+    // Embed once: the model does not change across target-TPR settings.
+    const nn::Matrix ref_embeddings = attacker.model().embed_dataset(in_world_refs);
+    const nn::Matrix in_embeddings = attacker.model().embed_dataset(in_world_test);
+    const nn::Matrix out_embeddings = attacker.model().embed_dataset(out_world_test);
+
+    for (const double tpr : {0.90, 0.95, 0.99}) {
+      core::OpenWorldDetector detector({.neighbour = 3, .target_tpr = tpr});
+      // Calibrate on the monitored reference embeddings themselves, so the
+      // TPR measured below on the test split stays out of sample.
+      detector.calibrate(attacker.references(), ref_embeddings);
+      const core::OpenWorldMetrics m =
+          detector.evaluate(attacker.references(), in_embeddings, out_embeddings);
+      result.openworld.add_row({util::Table::pct(tpr, 0), "3",
+                                util::Table::pct(m.true_positive_rate),
+                                util::Table::pct(m.false_positive_rate),
+                                util::Table::pct(m.precision)});
+    }
+
+    // Whole operating curve, not just the calibrated points: per-threshold
+    // precision/recall over the same embeddings.
+    core::OpenWorldDetector sweep_detector({.neighbour = 3, .target_tpr = 0.95});
+    const std::vector<core::PrPoint> curve = sweep_detector.precision_recall_sweep(
+        attacker.references(), in_embeddings, out_embeddings, 24);
+    for (const core::PrPoint& p : curve)
+      result.pr_sweep.add_row({util::Table::num(p.threshold, 4), util::Table::pct(p.recall),
+                               util::Table::pct(p.false_positive_rate),
+                               util::Table::pct(p.precision)});
+  }
+
+  result.design.write_csv(results_dir() + "/ablation.csv");
+  result.openworld.write_csv(results_dir() + "/openworld.csv");
+  result.pr_sweep.write_csv(results_dir() + "/openworld_pr.csv");
+  return result;
+}
+
+}  // namespace wf::eval

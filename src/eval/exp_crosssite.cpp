@@ -2,8 +2,9 @@
 
 namespace wf::eval {
 
-util::Table run_exp3_crosssite(WikiScenario& scenario) {
+util::Table run_exp3_crosssite(WikiScenario& scenario, const AttackerFactory& make_attacker) {
   const ScenarioConfig& cfg = scenario.config();
+  const AttackerFactory make = make_attacker ? make_attacker : default_attacker_factory();
   util::Table table({"Target", "Top-1", "Top-3", "Top-10"});
   const int classes = cfg.crosssite_classes;
 
@@ -20,8 +21,8 @@ util::Table run_exp3_crosssite(WikiScenario& scenario) {
       data::build_dataset(scenario.wiki_site(classes), scenario.wiki_farm(), {}, crawl);
   const data::SampleSplit home_split =
       data::split_samples(home_dataset, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter attacker(cfg.embedding2, cfg.knn_k, cfg.knn_shards);
-  attacker.provision(home_split.first);
+  const std::unique_ptr<core::Attacker> attacker = make(cfg.embedding2, cfg);
+  attacker->train(home_split.first);
 
   const auto evaluate_target = [&](const char* name, const netsim::Website& site,
                                    const netsim::ServerFarm& farm, std::uint64_t seed) {
@@ -30,8 +31,8 @@ util::Table run_exp3_crosssite(WikiScenario& scenario) {
     const data::Dataset dataset = data::build_dataset(site, farm, {}, options);
     const data::SampleSplit split =
         data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
-    attacker.initialize(split.first);
-    const core::EvaluationResult r = attacker.evaluate(split.second, 10);
+    attacker->set_references(split.first);
+    const core::EvaluationResult r = attacker->evaluate(split.second, 10);
     table.add_row({name, util::Table::pct(r.curve.top(1)), util::Table::pct(r.curve.top(3)),
                    util::Table::pct(r.curve.top(10))});
   };

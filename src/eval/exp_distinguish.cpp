@@ -10,7 +10,7 @@ namespace {
 
 // Mean rank of the true label per class, over a test set. Embedding and
 // ranking run through the batched pipeline; aggregation is sample-ordered.
-std::map<int, double> mean_guesses_per_class(const core::AdaptiveFingerprinter& attacker,
+std::map<int, double> mean_guesses_per_class(const core::Attacker& attacker,
                                              const data::Dataset& test,
                                              std::size_t fallback_rank) {
   std::map<int, std::pair<double, std::size_t>> acc;  // label -> (sum, count)
@@ -50,8 +50,9 @@ util::Table guess_cdf(const std::map<int, double>& means) {
 
 }  // namespace
 
-Exp4Result run_exp4_distinguish(WikiScenario& scenario) {
+Exp4Result run_exp4_distinguish(WikiScenario& scenario, const AttackerFactory& make_attacker) {
   const ScenarioConfig& cfg = scenario.config();
+  const AttackerFactory make = make_attacker ? make_attacker : default_attacker_factory();
   const int classes = cfg.distinguish_classes;
   const std::size_t fallback = static_cast<std::size_t>(classes);
 
@@ -67,12 +68,11 @@ Exp4Result run_exp4_distinguish(WikiScenario& scenario) {
   const data::Dataset dataset = data::encode_corpus(corpus, cfg.seq3);
   const data::SampleSplit split =
       data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
-  attacker.provision(split.first);
-  attacker.initialize(split.first);
+  const std::unique_ptr<core::Attacker> attacker = make(cfg.embedding3, cfg);
+  attacker->train(split.first);
 
   // Fig. 9: known classes.
-  const std::map<int, double> known = mean_guesses_per_class(attacker, split.second, fallback);
+  const std::map<int, double> known = mean_guesses_per_class(*attacker, split.second, fallback);
 
   // Fig. 10: unseen classes from a disjoint site.
   util::log_info() << "exp4: unseen classes";
@@ -82,10 +82,10 @@ Exp4Result run_exp4_distinguish(WikiScenario& scenario) {
       scenario.fresh_site(classes, 4), scenario.wiki_farm(), {}, unseen_crawl);
   const data::SampleSplit unseen_split =
       data::split_samples(unseen_dataset, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter transfer = attacker;
-  transfer.initialize(unseen_split.first);
+  const std::unique_ptr<core::Attacker> transfer = attacker->clone();
+  transfer->set_references(unseen_split.first);
   const std::map<int, double> unknown =
-      mean_guesses_per_class(transfer, unseen_split.second, fallback);
+      mean_guesses_per_class(*transfer, unseen_split.second, fallback);
 
   // Fig. 11: known classes under fixed-length padding (defense applied to
   // both the reference crawl and the victim traffic).
@@ -94,10 +94,10 @@ Exp4Result run_exp4_distinguish(WikiScenario& scenario) {
   const data::Dataset padded_dataset = data::encode_corpus(corpus, cfg.seq3, &defense, 9);
   const data::SampleSplit padded_split =
       data::split_samples(padded_dataset, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter padded_attacker = attacker;
-  padded_attacker.initialize(padded_split.first);
+  const std::unique_ptr<core::Attacker> padded_attacker = attacker->clone();
+  padded_attacker->set_references(padded_split.first);
   const std::map<int, double> padded =
-      mean_guesses_per_class(padded_attacker, padded_split.second, fallback);
+      mean_guesses_per_class(*padded_attacker, padded_split.second, fallback);
 
   Exp4Result result{guess_cdf(known), guess_cdf(unknown), guess_cdf(padded)};
   result.known.write_csv(results_dir() + "/exp4_known.csv");

@@ -4,8 +4,10 @@
 
 namespace wf::eval {
 
-util::Table run_padding_experiment(WikiScenario& scenario) {
+util::Table run_padding_experiment(WikiScenario& scenario,
+                                   const AttackerFactory& make_attacker) {
   const ScenarioConfig& cfg = scenario.config();
+  const AttackerFactory make = make_attacker ? make_attacker : default_attacker_factory();
   const int classes = cfg.padding_classes;
   util::Table table({"Setting", "Top-1", "Top-3", "Top-10"});
 
@@ -21,9 +23,8 @@ util::Table run_padding_experiment(WikiScenario& scenario) {
   const data::Dataset dataset = data::encode_corpus(corpus, cfg.seq3);
   const data::SampleSplit split =
       data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
-  attacker.provision(split.first);
-  attacker.initialize(split.first);
+  const std::unique_ptr<core::Attacker> attacker = make(cfg.embedding3, cfg);
+  attacker->train(split.first);
 
   const auto add_row = [&](const char* name, const core::EvaluationResult& r) {
     table.add_row({name, util::Table::pct(r.curve.top(1)), util::Table::pct(r.curve.top(3)),
@@ -31,14 +32,14 @@ util::Table run_padding_experiment(WikiScenario& scenario) {
   };
 
   // Fig. 12: classes seen in training, unpadded vs FL-padded.
-  add_row("seen, unpadded", attacker.evaluate(split.second, 10));
+  add_row("seen, unpadded", attacker->evaluate(split.second, 10));
   const trace::FixedLengthDefense defense = trace::FixedLengthDefense::fit(corpus.captures);
   const data::Dataset padded = data::encode_corpus(corpus, cfg.seq3, &defense, 9);
   const data::SampleSplit padded_split =
       data::split_samples(padded, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter fl_attacker = attacker;
-  fl_attacker.initialize(padded_split.first);
-  add_row("seen, FL padding", fl_attacker.evaluate(padded_split.second, 10));
+  const std::unique_ptr<core::Attacker> fl_attacker = attacker->clone();
+  fl_attacker->set_references(padded_split.first);
+  add_row("seen, FL padding", fl_attacker->evaluate(padded_split.second, 10));
 
   // Fig. 13: classes never seen in training.
   util::log_info() << "padding: unseen classes";
@@ -49,9 +50,9 @@ util::Table run_padding_experiment(WikiScenario& scenario) {
   const data::Dataset unseen_dataset = data::encode_corpus(unseen_corpus, cfg.seq3);
   const data::SampleSplit unseen_split =
       data::split_samples(unseen_dataset, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter transfer = attacker;
-  transfer.initialize(unseen_split.first);
-  add_row("unseen, unpadded", transfer.evaluate(unseen_split.second, 10));
+  const std::unique_ptr<core::Attacker> transfer = attacker->clone();
+  transfer->set_references(unseen_split.first);
+  add_row("unseen, unpadded", transfer->evaluate(unseen_split.second, 10));
 
   const trace::FixedLengthDefense unseen_defense =
       trace::FixedLengthDefense::fit(unseen_corpus.captures);
@@ -59,15 +60,17 @@ util::Table run_padding_experiment(WikiScenario& scenario) {
       data::encode_corpus(unseen_corpus, cfg.seq3, &unseen_defense, 11);
   const data::SampleSplit unseen_padded_split =
       data::split_samples(unseen_padded, cfg.train_samples_per_class, cfg.split_seed);
-  transfer.initialize(unseen_padded_split.first);
-  add_row("unseen, FL padding", transfer.evaluate(unseen_padded_split.second, 10));
+  transfer->set_references(unseen_padded_split.first);
+  add_row("unseen, FL padding", transfer->evaluate(unseen_padded_split.second, 10));
 
   table.write_csv(results_dir() + "/padding_fl.csv");
   return table;
 }
 
-util::Table run_defense_ablation(WikiScenario& scenario) {
+util::Table run_defense_ablation(WikiScenario& scenario,
+                                 const AttackerFactory& make_attacker) {
   const ScenarioConfig& cfg = scenario.config();
+  const AttackerFactory make = make_attacker ? make_attacker : default_attacker_factory();
   const int classes = cfg.padding_classes;
   util::Table table({"Countermeasure", "Top-1", "Top-3", "BW overhead"});
 
@@ -84,9 +87,8 @@ util::Table run_defense_ablation(WikiScenario& scenario) {
   const data::Dataset plain_dataset = data::encode_corpus(plain, cfg.seq3);
   const data::SampleSplit split =
       data::split_samples(plain_dataset, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
-  attacker.provision(split.first);
-  attacker.initialize(split.first);
+  const std::unique_ptr<core::Attacker> attacker = make(cfg.embedding3, cfg);
+  attacker->train(split.first);
 
   std::uint64_t baseline_bytes = 0;
   for (const auto& c : plain.captures) baseline_bytes += c.total_bytes();
@@ -95,7 +97,7 @@ util::Table run_defense_ablation(WikiScenario& scenario) {
                                    double overhead) {
     const data::SampleSplit s =
         data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
-    const core::EvaluationResult r = attacker.evaluate(s.second, 5);
+    const core::EvaluationResult r = attacker->evaluate(s.second, 5);
     table.add_row({name, util::Table::pct(r.curve.top(1)), util::Table::pct(r.curve.top(3)),
                    util::Table::pct(overhead, 0)});
   };
@@ -144,8 +146,10 @@ util::Table run_defense_ablation(WikiScenario& scenario) {
   return table;
 }
 
-util::Table run_defense_frontier(WikiScenario& scenario) {
+util::Table run_defense_frontier(WikiScenario& scenario,
+                                 const AttackerFactory& make_attacker) {
   const ScenarioConfig& cfg = scenario.config();
+  const AttackerFactory make = make_attacker ? make_attacker : default_attacker_factory();
   const int classes = cfg.padding_classes;
   util::Table table({"Family", "Param", "Top-1", "Top-3", "BW overhead"});
 
@@ -161,9 +165,8 @@ util::Table run_defense_frontier(WikiScenario& scenario) {
   const data::Dataset plain_dataset = data::encode_corpus(plain, cfg.seq3);
   const data::SampleSplit split =
       data::split_samples(plain_dataset, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
-  attacker.provision(split.first);
-  attacker.initialize(split.first);
+  const std::unique_ptr<core::Attacker> attacker = make(cfg.embedding3, cfg);
+  attacker->train(split.first);
 
   std::uint64_t baseline_bytes = 0;
   for (const auto& c : plain.captures) baseline_bytes += c.total_bytes();
@@ -172,7 +175,7 @@ util::Table run_defense_frontier(WikiScenario& scenario) {
                                    const data::Dataset& dataset, double overhead) {
     const data::SampleSplit s =
         data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
-    const core::EvaluationResult r = attacker.evaluate(s.second, 5);
+    const core::EvaluationResult r = attacker->evaluate(s.second, 5);
     table.add_row({family, param, util::Table::pct(r.curve.top(1)),
                    util::Table::pct(r.curve.top(3)), util::Table::pct(overhead, 0)});
   };

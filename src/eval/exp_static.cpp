@@ -2,8 +2,9 @@
 
 namespace wf::eval {
 
-util::Table run_exp1_static(WikiScenario& scenario) {
+util::Table run_exp1_static(WikiScenario& scenario, const AttackerFactory& make_attacker) {
   const ScenarioConfig& cfg = scenario.config();
+  const AttackerFactory make = make_attacker ? make_attacker : default_attacker_factory();
   util::Table table({"Classes", "TLS", "Top-1", "Top-3", "Top-5", "Top-10"});
 
   data::DatasetBuildOptions crawl;
@@ -11,18 +12,21 @@ util::Table run_exp1_static(WikiScenario& scenario) {
   crawl.sequence = cfg.seq3;
   crawl.browser = cfg.browser;
 
-  // Crawl `site`, provision the attacker on the train half unless it is
+  // Crawl `site`, train the attacker on the train half unless it is
   // already trained, and evaluate on the held-out half.
   const auto evaluate_site = [&](const netsim::Website& site, std::uint64_t crawl_seed,
-                                 core::AdaptiveFingerprinter& attacker,
-                                 bool provision) -> core::EvaluationResult {
+                                 core::Attacker& attacker,
+                                 bool train) -> core::EvaluationResult {
     data::DatasetBuildOptions options = crawl;
     options.seed = crawl_seed;
     const data::Dataset dataset = data::build_dataset(site, scenario.wiki_farm(), {}, options);
     const data::SampleSplit split =
         data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
-    if (provision) attacker.provision(split.first);
-    attacker.initialize(split.first);
+    if (train) {
+      attacker.train(split.first);
+    } else {
+      attacker.set_references(split.first);
+    }
     return attacker.evaluate(split.second, 10);
   };
 
@@ -34,25 +38,26 @@ util::Table run_exp1_static(WikiScenario& scenario) {
 
   for (const int classes : cfg.exp1_class_counts) {
     util::log_info() << "exp1: " << classes << " classes (TLS 1.2)";
-    core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
+    const std::unique_ptr<core::Attacker> attacker = make(cfg.embedding3, cfg);
     add_row(classes, "1.2",
             evaluate_site(scenario.wiki_site(classes),
-                          cfg.crawl_seed + static_cast<std::uint64_t>(classes), attacker,
-                          /*provision=*/true));
+                          cfg.crawl_seed + static_cast<std::uint64_t>(classes), *attacker,
+                          /*train=*/true));
   }
 
   // Version shift: the Exp.-1 model meets the same site served over 1.3.
   {
     const int classes = cfg.exp1_shift_classes;
     util::log_info() << "exp1: TLS 1.3 version shift at " << classes << " classes";
-    core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
+    const std::unique_ptr<core::Attacker> attacker = make(cfg.embedding3, cfg);
     evaluate_site(scenario.wiki_site(classes),
-                  cfg.crawl_seed + static_cast<std::uint64_t>(classes), attacker,
-                  /*provision=*/true);
+                  cfg.crawl_seed + static_cast<std::uint64_t>(classes), *attacker,
+                  /*train=*/true);
     add_row(classes, "1.3 (version shift)",
             evaluate_site(scenario.wiki_site(classes, /*tls13=*/true),
-                          cfg.crawl_seed + 13'000 + static_cast<std::uint64_t>(classes), attacker,
-                          /*provision=*/false));
+                          cfg.crawl_seed + 13'000 + static_cast<std::uint64_t>(classes),
+                          *attacker,
+                          /*train=*/false));
   }
 
   table.write_csv(results_dir() + "/exp1_static.csv");

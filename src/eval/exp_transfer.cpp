@@ -2,8 +2,9 @@
 
 namespace wf::eval {
 
-Exp2Result run_exp2_transfer(WikiScenario& scenario) {
+Exp2Result run_exp2_transfer(WikiScenario& scenario, const AttackerFactory& make_attacker) {
   const ScenarioConfig& cfg = scenario.config();
+  const AttackerFactory make = make_attacker ? make_attacker : default_attacker_factory();
   Exp2Result result{
       util::Table({"New classes", "Top-1", "Top-3", "Top-5", "Top-10"}),
       util::Table({"New classes", "n for 90%", "n / classes"}),
@@ -21,8 +22,8 @@ Exp2Result run_exp2_transfer(WikiScenario& scenario) {
       scenario.wiki_site(cfg.transfer_train_classes), scenario.wiki_farm(), {}, crawl);
   const data::SampleSplit train_split =
       data::split_samples(train_dataset, cfg.train_samples_per_class, cfg.split_seed);
-  core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
-  attacker.provision(train_split.first);
+  const std::unique_ptr<core::Attacker> attacker = make(cfg.embedding3, cfg);
+  attacker->train(train_split.first);
 
   for (const int classes : cfg.transfer_new_class_counts) {
     util::log_info() << "exp2: " << classes << " unseen classes";
@@ -34,10 +35,10 @@ Exp2Result run_exp2_transfer(WikiScenario& scenario) {
                             scenario.wiki_farm(), {}, options);
     const data::SampleSplit split =
         data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
-    attacker.initialize(split.first);
+    attacker->set_references(split.first);
 
     const std::size_t max_n = std::min<std::size_t>(static_cast<std::size_t>(classes), 50);
-    const core::EvaluationResult eval = attacker.evaluate(split.second, max_n);
+    const core::EvaluationResult eval = attacker->evaluate(split.second, max_n);
     result.accuracy.add_row({std::to_string(classes), util::Table::pct(eval.curve.top(1)),
                              util::Table::pct(eval.curve.top(3)),
                              util::Table::pct(eval.curve.top(5)),

@@ -13,8 +13,9 @@ double mean_capture_size(const data::CaptureCorpus& corpus) {
 
 }  // namespace
 
-util::Table run_exp5_transport(WikiScenario& scenario) {
+util::Table run_exp5_transport(WikiScenario& scenario, const AttackerFactory& make_attacker) {
   const ScenarioConfig& cfg = scenario.config();
+  const AttackerFactory make = make_attacker ? make_attacker : default_attacker_factory();
   const int classes = cfg.transport_classes;
   util::Table table({"TLS", "HTTP", "Loss", "Top-1", "Top-3", "Top-5", "Pkts/trace"});
 
@@ -43,10 +44,9 @@ util::Table run_exp5_transport(WikiScenario& scenario) {
       const data::Dataset dataset = data::encode_corpus(corpus, cfg.seq3);
       const data::SampleSplit split =
           data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
-      core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
-      attacker.provision(split.first);
-      attacker.initialize(split.first);
-      add_row(tls_name, "records", "-", attacker.evaluate(split.second, 10),
+      const std::unique_ptr<core::Attacker> attacker = make(cfg.embedding3, cfg);
+      attacker->train(split.first);
+      add_row(tls_name, "records", "-", attacker->evaluate(split.second, 10),
               mean_capture_size(corpus));
     }
 
@@ -70,23 +70,21 @@ util::Table run_exp5_transport(WikiScenario& scenario) {
       // reassembles TCP streams first (SequenceOptions.coalesce_packets).
       trace::SequenceOptions seq_reasm = cfg.seq3;
       seq_reasm.coalesce_packets = true;
-      core::AdaptiveFingerprinter attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
-      core::AdaptiveFingerprinter reasm_attacker(cfg.embedding3, cfg.knn_k, cfg.knn_shards);
+      const std::unique_ptr<core::Attacker> attacker = make(cfg.embedding3, cfg);
+      const std::unique_ptr<core::Attacker> reasm_attacker = make(cfg.embedding3, cfg);
       {
         const data::Dataset clean_dataset = data::encode_corpus(clean, cfg.seq3);
         const data::SampleSplit split =
             data::split_samples(clean_dataset, cfg.train_samples_per_class, cfg.split_seed);
-        attacker.provision(split.first);
-        attacker.initialize(split.first);
-        add_row(tls_name, http_name, "0%", attacker.evaluate(split.second, 10),
+        attacker->train(split.first);
+        add_row(tls_name, http_name, "0%", attacker->evaluate(split.second, 10),
                 mean_capture_size(clean));
         const data::Dataset reasm_dataset = data::encode_corpus(clean, seq_reasm);
         const data::SampleSplit reasm_split =
             data::split_samples(reasm_dataset, cfg.train_samples_per_class, cfg.split_seed);
-        reasm_attacker.provision(reasm_split.first);
-        reasm_attacker.initialize(reasm_split.first);
+        reasm_attacker->train(reasm_split.first);
         add_row(tls_name, http_name + "+reasm", "0%",
-                reasm_attacker.evaluate(reasm_split.second, 10), mean_capture_size(clean));
+                reasm_attacker->evaluate(reasm_split.second, 10), mean_capture_size(clean));
       }
 
       // Degradation: fresh captures of the same pages at growing loss,
@@ -101,11 +99,11 @@ util::Table run_exp5_transport(WikiScenario& scenario) {
         const data::SampleSplit lossy_split = data::split_samples(
             data::encode_corpus(lossy, cfg.seq3), cfg.train_samples_per_class, cfg.split_seed);
         add_row(tls_name, http_name, util::Table::pct(loss, 0),
-                attacker.evaluate(lossy_split.second, 10), mean_capture_size(lossy));
+                attacker->evaluate(lossy_split.second, 10), mean_capture_size(lossy));
         const data::SampleSplit lossy_reasm_split = data::split_samples(
             data::encode_corpus(lossy, seq_reasm), cfg.train_samples_per_class, cfg.split_seed);
         add_row(tls_name, http_name + "+reasm", util::Table::pct(loss, 0),
-                reasm_attacker.evaluate(lossy_reasm_split.second, 10),
+                reasm_attacker->evaluate(lossy_reasm_split.second, 10),
                 mean_capture_size(lossy));
       }
     }

@@ -1,7 +1,10 @@
 #include "eval/scenario.hpp"
 
-#include <cstdlib>
 #include <filesystem>
+#include <stdexcept>
+
+#include "baselines/attackers.hpp"
+#include "util/env.hpp"
 
 namespace wf::eval {
 
@@ -42,8 +45,7 @@ ScenarioConfig ScenarioConfig::smoke() {
 }
 
 WikiScenario::WikiScenario()
-    : WikiScenario(std::getenv("WF_SMOKE") != nullptr ? ScenarioConfig::smoke()
-                                                      : ScenarioConfig::standard()) {}
+    : WikiScenario(util::Env::smoke() ? ScenarioConfig::smoke() : ScenarioConfig::standard()) {}
 
 WikiScenario::WikiScenario(ScenarioConfig config)
     : config_(std::move(config)),
@@ -88,9 +90,40 @@ data::Dataset label_range(const data::Dataset& dataset, int lo, int hi) {
 }
 
 std::string results_dir() {
+  const std::string dir = util::Env::results_dir();
   std::error_code ec;
-  std::filesystem::create_directories("results", ec);
-  return "results";
+  std::filesystem::create_directories(dir, ec);
+  return dir;
 }
+
+AttackerFactory default_attacker_factory() { return attacker_factory("adaptive"); }
+
+// Config-aware construction; the canonical name list itself lives in
+// baselines::attacker_type_names() (shared with io::load_attacker).
+AttackerFactory attacker_factory(const std::string& name) {
+  if (name == "adaptive") {
+    return [](const core::EmbeddingConfig& embedding, const ScenarioConfig& cfg) {
+      return std::make_unique<core::AdaptiveFingerprinter>(embedding, cfg.knn_k,
+                                                           cfg.knn_shards);
+    };
+  }
+  if (name == "forest") {
+    return [](const core::EmbeddingConfig&, const ScenarioConfig&) {
+      return std::make_unique<baselines::ForestAttacker>();
+    };
+  }
+  if (name == "kfp-knn") {
+    return [](const core::EmbeddingConfig&, const ScenarioConfig& cfg) {
+      return std::make_unique<baselines::FeatureKnnAttacker>(cfg.knn_k, cfg.knn_shards);
+    };
+  }
+  // Reuse the canonical table's error (and keep the two registries in
+  // lockstep: a name listed there but not handled above is a bug here).
+  baselines::make_attacker_by_name(name);
+  throw std::invalid_argument("attacker \"" + name +
+                              "\" has no experiment factory registered");
+}
+
+std::vector<std::string> attacker_names() { return baselines::attacker_type_names(); }
 
 }  // namespace wf::eval

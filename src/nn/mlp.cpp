@@ -35,6 +35,14 @@ Mlp::Mlp(const std::vector<std::size_t>& sizes, std::uint64_t seed) {
 std::size_t Mlp::input_dim() const { return layers_.empty() ? 0 : layers_.front().w.cols(); }
 std::size_t Mlp::output_dim() const { return layers_.empty() ? 0 : layers_.back().w.rows(); }
 
+std::vector<std::size_t> Mlp::layer_sizes() const {
+  std::vector<std::size_t> sizes;
+  if (layers_.empty()) return sizes;
+  sizes.push_back(layers_.front().w.cols());
+  for (const Layer& layer : layers_) sizes.push_back(layer.w.rows());
+  return sizes;
+}
+
 std::vector<float> Mlp::forward(std::span<const float> x) const {
   Activations scratch;
   return forward_cached(x, scratch);

@@ -1,10 +1,10 @@
 #include "util/bench_report.hpp"
 
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "util/env.hpp"
 #include "util/log.hpp"
 
 namespace wf::util {
@@ -39,7 +39,7 @@ std::string json_number(double value) {
 }  // namespace
 
 BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
-  param("smoke", std::getenv("WF_SMOKE") != nullptr ? 1.0 : 0.0);
+  param("smoke", Env::smoke() ? 1.0 : 0.0);
 }
 
 void BenchReport::param(const std::string& key, const std::string& value) {

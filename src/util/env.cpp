@@ -1,0 +1,104 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+
+#include "util/log.hpp"
+
+namespace wf::util {
+
+namespace {
+
+struct Overrides {
+  std::optional<bool> smoke;
+  std::optional<std::size_t> threads;
+  std::optional<std::size_t> shards;
+  std::optional<std::string> results_dir;
+  std::mutex mutex;
+};
+
+Overrides& overrides() {
+  static Overrides state;
+  return state;
+}
+
+// Positive integer from `name`, clamped to [1, max]; 0 when unset/invalid.
+std::size_t parse_count(const char* name, long max) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || v < 1) return 0;
+  return static_cast<std::size_t>(std::min(v, max));
+}
+
+}  // namespace
+
+bool Env::smoke() {
+  {
+    std::lock_guard<std::mutex> lock(overrides().mutex);
+    if (overrides().smoke) return *overrides().smoke;
+  }
+  return std::getenv("WF_SMOKE") != nullptr;
+}
+
+std::size_t Env::threads() {
+  {
+    std::lock_guard<std::mutex> lock(overrides().mutex);
+    if (overrides().threads) return *overrides().threads;
+  }
+  return parse_count("WF_THREADS", 512);
+}
+
+std::size_t Env::shards() {
+  {
+    std::lock_guard<std::mutex> lock(overrides().mutex);
+    if (overrides().shards) return *overrides().shards;
+  }
+  return parse_count("WF_SHARDS", 4096);
+}
+
+std::string Env::results_dir() {
+  {
+    std::lock_guard<std::mutex> lock(overrides().mutex);
+    if (overrides().results_dir) return *overrides().results_dir;
+  }
+  const char* env = std::getenv("WF_RESULTS_DIR");
+  return (env != nullptr && env[0] != '\0') ? env : "results";
+}
+
+void Env::override_smoke(bool smoke) {
+  std::lock_guard<std::mutex> lock(overrides().mutex);
+  overrides().smoke = smoke;
+}
+
+void Env::override_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(overrides().mutex);
+  overrides().threads = threads;
+}
+
+void Env::override_shards(std::size_t shards) {
+  std::lock_guard<std::mutex> lock(overrides().mutex);
+  overrides().shards = shards;
+}
+
+void Env::override_results_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(overrides().mutex);
+  overrides().results_dir = std::move(dir);
+}
+
+void Env::log_effective() {
+  static std::atomic<bool> logged{false};
+  if (logged.exchange(true)) return;
+  const std::size_t threads = Env::threads();
+  const std::size_t shards = Env::shards();
+  log_info() << "settings: smoke=" << (smoke() ? "on" : "off") << " threads="
+             << (threads == 0 ? "auto" : std::to_string(threads)) << " shards="
+             << (shards == 0 ? "auto" : std::to_string(shards)) << " results_dir="
+             << results_dir();
+}
+
+}  // namespace wf::util

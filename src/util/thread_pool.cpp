@@ -1,7 +1,6 @@
 #include "util/thread_pool.hpp"
 
-#include <algorithm>
-#include <cstdlib>
+#include "util/env.hpp"
 
 namespace wf::util {
 
@@ -22,10 +21,7 @@ ThreadPool::~ThreadPool() {
 }
 
 std::size_t ThreadPool::default_thread_count() {
-  if (const char* env = std::getenv("WF_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) return std::min<std::size_t>(static_cast<std::size_t>(parsed), 512);
-  }
+  if (const std::size_t configured = Env::threads(); configured > 0) return configured;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
 }

@@ -1,0 +1,74 @@
+// util::Env: live environment parsing, clamping, and CLI overrides.
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+#include "test_common.hpp"
+
+using wf::util::Env;
+
+int main() {
+  // Defaults with a clean environment.
+  unsetenv("WF_SMOKE");
+  unsetenv("WF_THREADS");
+  unsetenv("WF_SHARDS");
+  unsetenv("WF_RESULTS_DIR");
+  CHECK(!Env::smoke());
+  CHECK(Env::threads() == 0);
+  CHECK(Env::shards() == 0);
+  CHECK(Env::results_dir() == "results");
+
+  // Live reads: flipping the environment between calls is visible.
+  setenv("WF_SMOKE", "1", 1);
+  CHECK(Env::smoke());
+  unsetenv("WF_SMOKE");
+  CHECK(!Env::smoke());
+
+  // Parsing and clamping.
+  setenv("WF_THREADS", "3", 1);
+  CHECK(Env::threads() == 3);
+  setenv("WF_THREADS", "100000", 1);
+  CHECK(Env::threads() == 512);
+  setenv("WF_THREADS", "0", 1);
+  CHECK(Env::threads() == 0);  // invalid -> unset, caller falls back
+  setenv("WF_THREADS", "garbage", 1);
+  CHECK(Env::threads() == 0);
+  unsetenv("WF_THREADS");
+
+  setenv("WF_SHARDS", "7", 1);
+  CHECK(Env::shards() == 7);
+  setenv("WF_SHARDS", "100000", 1);
+  CHECK(Env::shards() == 4096);
+  setenv("WF_SHARDS", "-2", 1);
+  CHECK(Env::shards() == 0);
+  unsetenv("WF_SHARDS");
+
+  setenv("WF_RESULTS_DIR", "/tmp/wf-out", 1);
+  CHECK(Env::results_dir() == "/tmp/wf-out");
+  setenv("WF_RESULTS_DIR", "", 1);
+  CHECK(Env::results_dir() == "results");  // empty value -> default
+  unsetenv("WF_RESULTS_DIR");
+
+  // Overrides beat the environment.
+  setenv("WF_SHARDS", "7", 1);
+  Env::override_shards(3);
+  CHECK(Env::shards() == 3);
+  unsetenv("WF_SHARDS");
+  CHECK(Env::shards() == 3);
+
+  setenv("WF_RESULTS_DIR", "/tmp/wf-env", 1);
+  Env::override_results_dir("cli-out");
+  CHECK(Env::results_dir() == "cli-out");
+  unsetenv("WF_RESULTS_DIR");
+
+  Env::override_smoke(true);
+  CHECK(Env::smoke());
+  Env::override_threads(9);
+  CHECK(Env::threads() == 9);
+
+  // log_effective only prints once; calling twice must be harmless.
+  Env::log_effective();
+  Env::log_effective();
+
+  return TEST_MAIN_RESULT();
+}

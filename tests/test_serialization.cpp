@@ -1,0 +1,286 @@
+// wf::io round trips: a trained attacker saved and reloaded must
+// reproduce every ranking bit-identically (labels, votes, distances) and
+// the open-world calibration exactly; corrupt, truncated, wrong-kind and
+// future-version files must raise clean IoError.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baselines/attackers.hpp"
+#include "core/adaptive.hpp"
+#include "core/openworld.hpp"
+#include "data/build.hpp"
+#include "data/splits.hpp"
+#include "io/serialize.hpp"
+#include "netsim/browser.hpp"
+#include "test_common.hpp"
+
+using namespace wf;
+
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+bool rankings_equal(const std::vector<std::vector<core::RankedLabel>>& a,
+                    const std::vector<std::vector<core::RankedLabel>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (std::size_t r = 0; r < a[i].size(); ++r) {
+      if (a[i][r].label != b[i][r].label || a[i][r].votes != b[i][r].votes ||
+          a[i][r].distance != b[i][r].distance)
+        return false;
+    }
+  }
+  return true;
+}
+
+template <typename Fn>
+bool throws_io_error(Fn&& fn) {
+  try {
+    fn();
+  } catch (const io::IoError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+  return false;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+int main() {
+  // Small world: 12 pages x 12 loads, 8 train / 4 test per class.
+  netsim::WikiSiteConfig site_config;
+  site_config.n_pages = 12;
+  site_config.seed = 31;
+  const netsim::Website site = netsim::make_wiki_site(site_config);
+  const netsim::ServerFarm farm = netsim::ServerFarm::for_wiki();
+  data::DatasetBuildOptions crawl;
+  crawl.samples_per_class = 12;
+  crawl.seed = 77;
+  const data::Dataset dataset = data::build_dataset(site, farm, {}, crawl);
+  const data::SampleSplit split = data::split_samples(dataset, 8, 5);
+
+  // --- Dataset round trip -------------------------------------------------
+  {
+    const std::string path = temp_path("wf_test_dataset.bin");
+    io::save_dataset(path, dataset);
+    const data::Dataset loaded = io::load_dataset(path);
+    CHECK(loaded.size() == dataset.size());
+    CHECK(loaded.feature_dim() == dataset.feature_dim());
+    bool identical = true;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      if (loaded[i].label != dataset[i].label ||
+          loaded[i].features != dataset[i].features)
+        identical = false;
+    }
+    CHECK(identical);
+    std::remove(path.c_str());
+  }
+
+  // --- Adaptive attacker round trip ---------------------------------------
+  core::EmbeddingConfig config;
+  config.train_iterations = 120;
+  core::AdaptiveFingerprinter attacker(config, /*knn_k=*/10, /*n_shards=*/3);
+  attacker.train(split.first);
+  const auto before = attacker.fingerprint_batch(split.second);
+  const std::string model_path = temp_path("wf_test_adaptive.wf");
+  attacker.save(model_path);
+
+  {
+    // Typed reload through Attacker::load.
+    core::AdaptiveFingerprinter reloaded;
+    reloaded.load(model_path);
+    CHECK(rankings_equal(before, reloaded.fingerprint_batch(split.second)));
+    CHECK(reloaded.references().size() == attacker.references().size());
+    CHECK(reloaded.references().shard_count() == attacker.references().shard_count());
+
+    // The embeddings themselves are bit-identical, so the §VI-C open-world
+    // calibration lands on the exact same threshold.
+    const nn::Matrix ref_embeddings = attacker.model().embed_dataset(split.first);
+    const nn::Matrix loaded_embeddings = reloaded.model().embed_dataset(split.first);
+    CHECK(ref_embeddings.rows() == loaded_embeddings.rows());
+    bool embeddings_identical = true;
+    for (std::size_t r = 0; r < ref_embeddings.rows(); ++r)
+      for (std::size_t c = 0; c < ref_embeddings.cols(); ++c)
+        if (ref_embeddings(r, c) != loaded_embeddings(r, c)) embeddings_identical = false;
+    CHECK(embeddings_identical);
+
+    core::OpenWorldDetector original_detector({.neighbour = 3, .target_tpr = 0.9});
+    original_detector.calibrate(attacker.references(), ref_embeddings);
+    core::OpenWorldDetector loaded_detector({.neighbour = 3, .target_tpr = 0.9});
+    loaded_detector.calibrate(reloaded.references(), loaded_embeddings);
+    CHECK(original_detector.threshold() == loaded_detector.threshold());
+    const std::vector<double> original_dists =
+        original_detector.kth_distances(attacker.references(), ref_embeddings);
+    const std::vector<double> loaded_dists =
+        loaded_detector.kth_distances(reloaded.references(), loaded_embeddings);
+    CHECK(original_dists == loaded_dists);
+  }
+
+  {
+    // Polymorphic reload through io::load_attacker.
+    const std::unique_ptr<core::Attacker> reloaded = io::load_attacker(model_path);
+    CHECK(reloaded->name() == "adaptive");
+    CHECK(rankings_equal(before, reloaded->fingerprint_batch(split.second)));
+    // A reloaded attacker adapts exactly like the original (the trained
+    // model travels with the file).
+    core::AdaptiveFingerprinter twin;
+    twin.load(model_path);
+    reloaded->adapt(3, split.second);
+    twin.adapt_class(3, split.second);
+    CHECK(rankings_equal(reloaded->fingerprint_batch(split.second),
+                         twin.fingerprint_batch(split.second)));
+  }
+
+  // --- Baseline attacker round trips --------------------------------------
+  {
+    baselines::ForestAttacker forest({.n_trees = 12, .max_depth = 8});
+    forest.train(split.first);
+    const auto forest_before = forest.fingerprint_batch(split.second);
+    const std::string path = temp_path("wf_test_forest.wf");
+    forest.save(path);
+    const std::unique_ptr<core::Attacker> reloaded = io::load_attacker(path);
+    CHECK(reloaded->name() == "forest");
+    CHECK(rankings_equal(forest_before, reloaded->fingerprint_batch(split.second)));
+    // adapt() refits from the retained corpus; reloaded must behave the same.
+    baselines::ForestAttacker twin;
+    twin.load(path);
+    reloaded->adapt(1, split.second);
+    twin.adapt(1, split.second);
+    CHECK(rankings_equal(reloaded->fingerprint_batch(split.second),
+                         twin.fingerprint_batch(split.second)));
+    std::remove(path.c_str());
+  }
+  {
+    baselines::FeatureKnnAttacker kfp(/*k=*/7, /*n_shards=*/2);
+    kfp.train(split.first);
+    const auto kfp_before = kfp.fingerprint_batch(split.second);
+    const std::string path = temp_path("wf_test_kfp.wf");
+    kfp.save(path);
+    const std::unique_ptr<core::Attacker> reloaded = io::load_attacker(path);
+    CHECK(reloaded->name() == "kfp-knn");
+    CHECK(rankings_equal(kfp_before, reloaded->fingerprint_batch(split.second)));
+    std::remove(path.c_str());
+  }
+
+  // --- Error paths ---------------------------------------------------------
+  const std::string valid = read_file(model_path);
+  CHECK(valid.size() > 64);
+
+  // Missing file.
+  CHECK(throws_io_error([&] { io::load_attacker(temp_path("wf_test_missing.wf")); }));
+
+  // Bad magic.
+  {
+    const std::string path = temp_path("wf_test_magic.wf");
+    std::string bytes = valid;
+    bytes[0] = 'X';
+    write_file(path, bytes);
+    CHECK(throws_io_error([&] { io::load_attacker(path); }));
+    std::remove(path.c_str());
+  }
+
+  // Future format version: the error must name the version.
+  {
+    const std::string path = temp_path("wf_test_version.wf");
+    std::string bytes = valid;
+    bytes[4] = 99;  // little-endian u32 version at offset 4
+    write_file(path, bytes);
+    bool version_named = false;
+    try {
+      io::load_attacker(path);
+    } catch (const io::IoError& e) {
+      version_named = std::string(e.what()).find("version 99") != std::string::npos;
+    }
+    CHECK(version_named);
+    std::remove(path.c_str());
+  }
+
+  // Truncation at several depths.
+  for (const std::size_t keep : {std::size_t{6}, std::size_t{20}, valid.size() / 2}) {
+    const std::string path = temp_path("wf_test_truncated.wf");
+    write_file(path, valid.substr(0, keep));
+    CHECK(throws_io_error([&] { io::load_attacker(path); }));
+    std::remove(path.c_str());
+  }
+
+  // Wrong kind: a dataset file is not an attacker, and vice versa.
+  {
+    const std::string path = temp_path("wf_test_kind.bin");
+    io::save_dataset(path, split.first);
+    CHECK(throws_io_error([&] { io::load_attacker(path); }));
+    CHECK(throws_io_error([&] {
+      core::AdaptiveFingerprinter wrong;
+      wrong.load(path);
+    }));
+    std::remove(path.c_str());
+  }
+
+  // Wrong attacker type through the typed loader.
+  {
+    baselines::ForestAttacker wrong;
+    CHECK(throws_io_error([&] { wrong.load(model_path); }));
+  }
+
+  // Trailing bytes inside a section payload mean corruption or
+  // writer/reader drift; the framing must reject them.
+  {
+    const std::string path = temp_path("wf_test_trailing.wf");
+    {
+      std::ofstream out(path, std::ios::binary);
+      io::Writer w(out);
+      io::write_header(w, "ATKR");
+      io::write_section(w, "NAME", [](io::Writer& s) {
+        s.str("adaptive");
+        s.u8(0);  // surplus byte after the name
+      });
+    }
+    CHECK(throws_io_error([&] { io::load_attacker(path); }));
+    std::remove(path.c_str());
+  }
+
+  // Hostile shapes: a crafted MLP section with 2^32-wide layers must raise
+  // IoError before any allocation can overflow.
+  {
+    const std::string path = temp_path("wf_test_hostile.wf");
+    {
+      std::ofstream out(path, std::ios::binary);
+      io::Writer w(out);
+      io::write_header(w, "ATKR");
+      io::write_section(w, "NAME", [](io::Writer& s) { s.str("adaptive"); });
+      io::write_section(w, "CONF", [](io::Writer& s) {
+        io::save_embedding_config(s, core::EmbeddingConfig{});
+      });
+      io::write_section(w, "KNNC", [](io::Writer& s) {
+        s.i32(10);
+        s.u64(1);
+      });
+      io::write_section(w, "MLPW", [](io::Writer& s) {
+        s.u64(2);
+        s.u64(std::uint64_t{1} << 32);
+        s.u64(std::uint64_t{1} << 32);
+      });
+    }
+    CHECK(throws_io_error([&] { io::load_attacker(path); }));
+    std::remove(path.c_str());
+  }
+
+  std::remove(model_path.c_str());
+  return TEST_MAIN_RESULT();
+}
