@@ -54,6 +54,13 @@ class AdaptiveFingerprinter final : public Attacker {
   // swap only; the trained model is untouched).
   void adapt_class(int label, const data::Dataset& fresh);
 
+  // Scatter half of a distributed query (`wf serve` shard backends): embed
+  // the traces and scan only the shards s ≡ slice_index (mod slice_count)
+  // of the reference set. Folding every slice's result back together with
+  // core::merge_slice_scans reproduces fingerprint_batch bit-identically.
+  SliceScan scan_slice(const data::Dataset& traces, std::size_t slice_index,
+                       std::size_t slice_count) const;
+
   // Attacker interface.
   std::string name() const override { return "adaptive"; }
   TrainStats train(const data::Dataset& train) override;

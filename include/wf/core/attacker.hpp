@@ -42,6 +42,14 @@ struct EvaluationResult {
   double seconds = 0.0;
 };
 
+// Aggregate per-sample rankings (in sample order) against the true labels
+// into a cumulative top-n curve. The single aggregation shared by
+// Attacker::evaluate and the CLI's remote-query path (`wf query`), so an
+// in-process and a daemon-served evaluation of the same rankings cannot
+// drift apart.
+TopNCurve curve_from_rankings(const std::vector<std::vector<RankedLabel>>& rankings,
+                              std::span<const int> labels, std::size_t max_n);
+
 // The public face of every fingerprinting adversary in this repo. The
 // experiment harnesses program against this interface (taking an attacker
 // factory), so swapping the paper's adaptive embedding system for a

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/reference_set.hpp"
@@ -14,6 +16,39 @@ struct RankedLabel {
   int votes = 0;        // neighbours (or trees) voting for this class
   double distance = 0;  // tie-break: closest reference of this class
 };
+
+// One top-k candidate as exchanged between scatter/gather nodes: the
+// squared distance plus a packed key carrying the row's global insertion id
+// (upper bits) and its dense global class id (lower kCandidateClassBits).
+// Keys are unique per row, so the pair's lexicographic < totally orders
+// candidates by (dist, insertion id) — the exact merge tie-break of the
+// sharded scan.
+inline constexpr std::uint64_t kCandidateClassBits = 24;
+using Candidate = std::pair<double, std::uint64_t>;
+
+// The scatter half of a distributed query: one node's scan of the shards
+// s ≡ slice_index (mod slice_count). Holds, per query, the per-shard k-best
+// candidates and the per-class nearest distances over the slice (flat,
+// query-major). Folding the slices of one store back together with
+// merge_slice_scans reproduces KnnClassifier::rank_batch over the whole
+// store bit-identically.
+struct SliceScan {
+  std::size_t n_queries = 0;
+  std::size_t n_class_ids = 0;
+  std::vector<std::vector<Candidate>> candidates;  // per query
+  std::vector<double> best;                        // n_queries x n_class_ids
+
+  const double* best_of(std::size_t query) const { return best.data() + query * n_class_ids; }
+};
+
+// The gather half: fold per-slice candidates (union, then keep the k
+// globally smallest by the unique (dist, key) order) and per-class bests
+// (elementwise min) into final rankings. `labels_by_id` maps dense class
+// ids to page labels; `n_total` is the store's total row count, bounding k
+// exactly as rank_batch does. Slice fold order does not affect the result.
+std::vector<std::vector<RankedLabel>> merge_slice_scans(std::span<const int> labels_by_id,
+                                                        int k, std::size_t n_total,
+                                                        const std::vector<SliceScan>& slices);
 
 // k-nearest-neighbour voting in embedding space. Produces a *total* ranking
 // over every class in the reference store (voted classes first, the rest
@@ -39,6 +74,14 @@ class KnnClassifier {
   // One ranking per row of `queries` (queries.cols() == references.dim()).
   std::vector<std::vector<RankedLabel>> rank_batch(const ReferenceStore& references,
                                                    const nn::Matrix& queries) const;
+
+  // Scan only the shards s with s % slice_count == slice_index of
+  // `references` (which must be the full store — the per-shard heap size is
+  // bounded by the store's total row count, as in rank_batch). This is what
+  // a scatter/gather backend computes before shipping candidates to the
+  // coordinator's merge_slice_scans.
+  SliceScan scan_slice(const ReferenceStore& references, const nn::Matrix& queries,
+                       std::size_t slice_index, std::size_t slice_count) const;
 
  private:
   int k_;

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "eval/scenario.hpp"
+
+namespace wf::eval {
+
+// Serving-path benchmark (`wf run perf_serve`): trains the adaptive
+// attacker once, then measures the resident daemon end to end over
+// loopback TCP — throughput (q/s) and request latency (p50/p99 ms) for
+// every shard count x request batch size. Shard count 1 is a single
+// daemon; >1 runs one backend per shard slice behind a scatter/gather
+// coordinator. Writes results/perf_serve.csv.
+util::Table run_perf_serve(WikiScenario& scenario);
+
+}  // namespace wf::eval

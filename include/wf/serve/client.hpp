@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "serve/frame.hpp"
+#include "serve/net.hpp"
+
+namespace wf::serve {
+
+// An ERRR reply surfaced as an exception. retryable() mirrors the frame's
+// flag: true means transient backpressure (the daemon's queue was full) —
+// resend the same request after a pause; false means the request itself is
+// bad and retrying cannot help.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(bool retryable, const std::string& message)
+      : std::runtime_error(message), retryable_(retryable) {}
+  bool retryable() const { return retryable_; }
+
+ private:
+  bool retryable_;
+};
+
+// One blocking connection to a wf serve daemon: each call sends one request
+// frame and decodes its single reply. Transport failures and malformed
+// replies raise io::IoError; ERRR replies raise ServeError.
+class Client {
+ public:
+  // `retry_ms` keeps retrying a refused connection for up to that long, so
+  // a client started back to back with the daemon does not race the bind.
+  Client(const std::string& host, std::uint16_t port, int retry_ms = 0);
+
+  ServerInfo hello();
+  Rankings query(const nn::Matrix& features);
+  core::SliceScan scan(const nn::Matrix& features);
+  // As query(), but re-sends after a backpressure ERRR until accepted.
+  Rankings query_until_accepted(const nn::Matrix& features);
+  // Asks the daemon to shut down (it answers BYEE first).
+  void stop_server();
+
+ private:
+  ParsedFrame roundtrip(const std::string& frame_bytes, const std::string& expected_kind);
+
+  Socket socket_;
+};
+
+}  // namespace wf::serve

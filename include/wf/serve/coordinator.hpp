@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace wf::serve {
+
+struct BackendAddress {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+// The gather half of scatter/gather serving: holds one Client per shard
+// backend, fans every query batch out as SCAN frames in parallel, and folds
+// the slice scans back together with core::merge_slice_scans — rankings are
+// bit-identical to one unsharded daemon answering the same batch.
+//
+// The constructor performs a HELO handshake with every backend and rejects
+// inconsistent deployments: all backends must serve the same model (same
+// attacker kind, reference count, k and dense class-id table) and their
+// slices must cover 0..n-1 exactly once for n backends.
+class CoordinatorHandler final : public Handler {
+ public:
+  explicit CoordinatorHandler(const std::vector<BackendAddress>& backends, int retry_ms = 0);
+
+  ServerInfo info() const override;
+  Rankings rank(const nn::Matrix& queries) override;
+  // A coordinator is always a whole-store endpoint; it cannot be stacked as
+  // somebody else's shard slice.
+  core::SliceScan scan(const nn::Matrix& queries) override;
+
+ private:
+  std::vector<std::unique_ptr<Client>> clients_;  // sorted by slice index
+  ServerInfo info_;  // merged view: slice 0 of 1, whole reference set
+};
+
+}  // namespace wf::serve

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/knn.hpp"
+#include "io/serialize.hpp"
+#include "nn/matrix.hpp"
+#include "serve/net.hpp"
+
+namespace wf::serve {
+
+// The serve wire protocol: length-prefixed frames whose payload is a
+// standard wf::io file (magic + format version + 4-char kind + tagged
+// sections) — the exact on-disk model format, reused on the socket.
+//
+//   frame   := u64 payload_bytes (little-endian) | payload
+//   payload := "WFIO" | u32 version | kind | Section...
+//
+// Request kinds:  HELO (no body), QRYB {FEAT}, SCAN {FEAT}, STOP (no body)
+// Reply kinds:    SNFO {INFO}, RNKB {RANK}, SLCE {PART}, BYEE (no body),
+//                 ERRR {EMSG}
+//
+// Every request gets exactly one reply. Malformed, truncated or oversized
+// frames raise io::IoError — never a crash; a server answers them with an
+// ERRR frame where the stream still permits one.
+inline constexpr char kFrameHello[] = "HELO";
+inline constexpr char kFrameQuery[] = "QRYB";
+inline constexpr char kFrameScan[] = "SCAN";
+inline constexpr char kFrameStop[] = "STOP";
+inline constexpr char kFrameInfo[] = "SNFO";
+inline constexpr char kFrameRankings[] = "RNKB";
+inline constexpr char kFrameSlice[] = "SLCE";
+inline constexpr char kFrameBye[] = "BYEE";
+inline constexpr char kFrameError[] = "ERRR";
+
+// Hard cap on one frame's payload: query batches and full rankings are
+// bounded, and a corrupt length field must fail before any allocation.
+inline constexpr std::uint64_t kMaxFrameBytes = std::uint64_t{1} << 30;  // 1 GiB
+
+using Rankings = std::vector<std::vector<core::RankedLabel>>;
+
+// What a server reports about itself in a SNFO reply. `classes` are the
+// sorted page labels the model targets (any attacker); `id_to_label` is the
+// dense class-id table and is only non-empty for attackers that support
+// slice scans — it is what the coordinator's merge needs.
+struct ServerInfo {
+  std::string attacker;
+  std::uint64_t n_references = 0;  // total rows of the full reference set
+  std::uint64_t slice_index = 0;   // which shard slice this node scans
+  std::uint64_t slice_count = 1;
+  std::int32_t knn_k = 0;          // 0 when the attacker has no k-NN stage
+  std::vector<int> classes;
+  std::vector<int> id_to_label;
+};
+
+struct ErrorReply {
+  bool retryable = false;  // true: transient backpressure, resend later
+  std::string message;
+};
+
+// A received frame, parsed down to its kind with the Reader positioned at
+// the first section.
+struct ParsedFrame {
+  std::string kind;
+  std::unique_ptr<std::istringstream> stream;
+  std::unique_ptr<io::Reader> reader;
+};
+
+// Encode one frame (length prefix included): `body` writes the payload's
+// sections. Pass {} for body-less kinds (HELO/STOP/BYEE).
+std::string encode_frame(const std::string& kind,
+                         const std::function<void(io::Writer&)>& body = {});
+
+// Validate the length-prefix-stripped payload bytes of one frame: checks
+// magic and version and reads the kind. Throws io::IoError on garbage.
+ParsedFrame parse_frame(std::string payload);
+
+// Socket transport. recv_frame returns nullopt on a clean peer close at a
+// frame boundary; throws io::IoError on truncation or an oversized length.
+void send_frame(Socket& socket, const std::string& frame_bytes);
+std::optional<ParsedFrame> recv_frame(Socket& socket);
+
+// Section codecs (each writes/parses exactly one tagged section).
+void write_features(io::Writer& out, const nn::Matrix& features);
+nn::Matrix read_features(io::Reader& in);
+
+void write_rankings(io::Writer& out, const Rankings& rankings);
+Rankings read_rankings(io::Reader& in);
+
+void write_slice_scan(io::Writer& out, const core::SliceScan& scan);
+core::SliceScan read_slice_scan(io::Reader& in);
+
+void write_info(io::Writer& out, const ServerInfo& info);
+ServerInfo read_info(io::Reader& in);
+
+void write_error(io::Writer& out, const ErrorReply& error);
+ErrorReply read_error(io::Reader& in);
+
+}  // namespace wf::serve

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wf::serve {
+
+// Thin RAII wrapper over one connected TCP socket. All I/O is blocking;
+// failures surface as io::IoError so the frame layer above reports them
+// the same way as any other truncated stream.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Writes all n bytes; throws io::IoError on a closed or failed socket.
+  void send_all(const void* data, std::size_t n);
+
+  // Reads exactly n bytes. Returns false on a clean EOF before the first
+  // byte (the peer closed between frames); throws io::IoError on EOF
+  // mid-read or a socket error.
+  bool recv_exact(void* data, std::size_t n);
+
+  // Wakes any thread blocked in recv_exact/send_all on this socket.
+  void shutdown_both();
+  void close();
+
+ private:
+  // Atomic so a shutdown_both() from the server's stop path can race the
+  // connection thread's blocking reads without UB.
+  std::atomic<int> fd_{-1};
+};
+
+// Connects to host:port; throws io::IoError on failure. `retry_ms` keeps
+// retrying a refused connection for up to that long — lets scripts start a
+// daemon and a client back to back without racing the bind.
+Socket tcp_connect(const std::string& host, std::uint16_t port, int retry_ms = 0);
+
+// Listening TCP socket; port 0 binds an ephemeral port (see port()).
+class Listener {
+ public:
+  Listener(const std::string& host, std::uint16_t port);
+  ~Listener() { close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  // Blocks for the next connection; returns an invalid Socket once the
+  // listener has been closed.
+  Socket accept();
+  void close();
+
+ private:
+  std::atomic<int> fd_{-1};
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace wf::serve

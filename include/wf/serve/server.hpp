@@ -1,0 +1,129 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/attacker.hpp"
+#include "serve/frame.hpp"
+#include "serve/net.hpp"
+#include "serve/queue.hpp"
+
+namespace wf::core {
+class AdaptiveFingerprinter;
+}
+
+namespace wf::serve {
+
+// What a Server serves. One implementation answers from a loaded model
+// (LocalHandler), the other scatters to remote shard backends and gathers
+// (CoordinatorHandler in coordinator.hpp). rank/scan are called from the
+// single worker thread only, so implementations need no locking of their
+// own.
+class Handler {
+ public:
+  virtual ~Handler() = default;
+  virtual ServerInfo info() const = 0;
+  // Full rankings for every row of `queries` (batch-composition
+  // independent: the same query in any batch yields bit-identical output).
+  virtual Rankings rank(const nn::Matrix& queries) = 0;
+  // Scatter half for coordinator backends; throws std::runtime_error when
+  // the handler cannot slice-scan (baseline attackers, coordinators).
+  virtual core::SliceScan scan(const nn::Matrix& queries) = 0;
+};
+
+// Serves one loaded core::Attacker. For SCAN frames the attacker must be
+// the adaptive fingerprinter (the only one with a sharded reference set);
+// slice_index/slice_count select which shard slice this node scans.
+class LocalHandler final : public Handler {
+ public:
+  explicit LocalHandler(std::unique_ptr<core::Attacker> attacker, std::size_t slice_index = 0,
+                        std::size_t slice_count = 1);
+
+  ServerInfo info() const override;
+  Rankings rank(const nn::Matrix& queries) override;
+  core::SliceScan scan(const nn::Matrix& queries) override;
+
+ private:
+  std::unique_ptr<core::Attacker> attacker_;
+  const core::AdaptiveFingerprinter* adaptive_ = nullptr;  // null for baselines
+  std::size_t slice_index_;
+  std::size_t slice_count_;
+};
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;            // 0: ephemeral, read back via Server::port()
+  std::size_t queue_capacity = 64;   // pending requests before backpressure
+  std::size_t max_batch = 1024;      // max queries per model call when coalescing
+};
+
+struct ServerStats {
+  std::uint64_t requests = 0;   // QRYB/SCAN frames accepted into the queue
+  std::uint64_t queries = 0;    // total query rows answered
+  std::uint64_t batches = 0;    // model calls (coalescing makes this <= requests)
+  std::uint64_t rejected = 0;   // backpressure rejections (queue full)
+};
+
+// The resident daemon: an accept loop, one thread per connection parsing
+// frames, a bounded ring queue, and a single worker thread that drains the
+// queue in waves and answers through per-request promises. STOP frames (or
+// stop()) shut the whole thing down cleanly.
+class Server {
+ public:
+  Server(std::shared_ptr<Handler> handler, ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds and spawns the accept + worker threads; throws io::IoError when
+  // the port cannot be bound.
+  void start();
+  std::uint16_t port() const;
+
+  // Blocks until a STOP frame arrives or stop() is called elsewhere.
+  void wait();
+  // Idempotent: closes the listener, drains the queue, joins every thread.
+  void stop();
+
+  ServerStats stats() const;
+
+ private:
+  struct Request {
+    nn::Matrix queries;
+    bool scan = false;
+    std::promise<std::string> reply;  // encoded reply frame bytes
+  };
+
+  void accept_loop();
+  void serve_connection(std::size_t slot);
+  void worker_loop();
+  void process_wave(std::vector<Request> wave);
+  void request_stop();
+
+  std::shared_ptr<Handler> handler_;
+  ServerConfig config_;
+  std::unique_ptr<Listener> listener_;
+  RingQueue<Request> queue_;
+  std::thread accept_thread_;
+  std::thread worker_thread_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Socket>> connections_;
+  std::vector<std::thread> connection_threads_;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_requested_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace wf::serve

@@ -13,13 +13,15 @@ namespace wf::util {
 // wins over the environment.
 class Env {
  public:
-  // WF_SMOKE: any value switches every experiment to the seconds-scale
-  // smoke configuration.
+  // WF_SMOKE: switches every experiment to the seconds-scale smoke
+  // configuration. "0"/"false"/"off"/"no" (any case) leave it disabled;
+  // any other value — including the bare WF_SMOKE=1 — enables it.
   static bool smoke();
 
   // WF_THREADS: worker count of the global pool, clamped to [1, 512].
   // Returns 0 when unset or unparsable (callers fall back to the hardware
-  // concurrency).
+  // concurrency); values with trailing garbage ("4x") are rejected with a
+  // warning rather than silently read as their numeric prefix.
   static std::size_t threads();
 
   // WF_SHARDS: reference-set shard count, clamped to [1, 4096]. Returns 0

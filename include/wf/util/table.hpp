@@ -17,6 +17,9 @@ class Table {
   // Pretty-print to stdout, optionally preceded by a title line.
   void print(const std::string& title = "") const;
 
+  // Mirror the table to CSV, creating parent directories. Throws
+  // std::runtime_error when the file cannot be opened or fully written, so
+  // a run never exits 0 with a missing or truncated result table.
   void write_csv(const std::string& path) const;
 
   std::size_t n_rows() const { return rows_.size(); }

@@ -4,6 +4,8 @@
 //   wf run <exp...|--all> [flags]            run registered experiments
 //   wf train --model FILE [flags]            train an attacker, save it
 //   wf eval  --model FILE [flags]            reload and evaluate a saved attacker
+//   wf serve --model FILE [flags]            resident daemon answering query frames
+//   wf query --port P [flags]                evaluate against a running daemon
 //
 // Shared flags: --smoke, --out DIR, --threads N, --shards S,
 // --attacker NAME. The legacy bench_* binaries are thin shims over the
@@ -11,11 +13,15 @@
 // CSVs.
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "eval/registry.hpp"
 #include "io/serialize.hpp"
+#include "serve/client.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/server.hpp"
 #include "util/bench_report.hpp"
 #include "util/env.hpp"
 
@@ -30,6 +36,18 @@ struct CliOptions {
   int classes = 0;  // 0: first exp1 class count of the active scenario
   bool all = false;
   bool attacker_given = false;
+
+  // serve/query flags.
+  std::string host = "127.0.0.1";
+  int port = 0;  // serve: 0 = ephemeral; query: must be given
+  std::size_t slice_index = 0;
+  std::size_t slice_count = 1;
+  std::size_t queue_capacity = 64;
+  std::size_t max_batch = 1024;
+  std::size_t query_batch = 32;  // queries per request frame from wf query
+  bool coordinator = false;
+  bool stop = false;
+  std::vector<serve::BackendAddress> backends;
 };
 
 int usage(int code) {
@@ -41,7 +59,20 @@ int usage(int code) {
       "  wf run <exp...> [flags]     run experiments (or --all for the whole suite)\n"
       "  wf train [flags]            crawl, train an attacker, save it to --model\n"
       "  wf eval [flags]             reload --model and evaluate it on the same crawl\n"
+      "  wf serve [flags]            daemon: load --model, answer query frames on TCP\n"
+      "  wf query [flags]            evaluate the crawl against a running daemon\n"
       "  wf help                     this text\n"
+      "\n"
+      "serve/query flags:\n"
+      "  --host H           listen/connect address (default 127.0.0.1)\n"
+      "  --port P           TCP port (serve default 0 = ephemeral, printed on start)\n"
+      "  --slice I/N        serve shard slice I of N as a scatter/gather backend\n"
+      "  --coordinator      serve by fanning out to --backend daemons and merging\n"
+      "  --backend H:P      one backend of a coordinator (repeat per shard slice)\n"
+      "  --queue N          pending-request ring capacity before backpressure (64)\n"
+      "  --max-batch N      max queries coalesced into one model call (1024)\n"
+      "  --batch N          queries per request frame sent by wf query (32)\n"
+      "  --stop             wf query: ask the daemon to shut down and exit\n"
       "\n"
       "flags:\n"
       "  --smoke            seconds-scale configuration (same as WF_SMOKE=1)\n"
@@ -53,8 +84,11 @@ int usage(int code) {
       "  --classes N        train/eval class count (default: the exp1 leading count)\n"
       "\n"
       "`wf train` crawls the exp1 scenario, trains the attacker on the train\n"
-      "split, evaluates the held-out split (writes wf_eval.csv) and saves the\n"
-      "model; `wf eval` reloads it and must reproduce wf_eval.csv bit-identically.\n";
+      "split, evaluates the held-out split (writes wf_eval.csv + wf_rankings.csv)\n"
+      "and saves the model; `wf eval` reloads it and must reproduce both files\n"
+      "bit-identically. `wf query` evaluates the same held-out split against a\n"
+      "running `wf serve` daemon and writes the same two files — a served\n"
+      "deployment is correct iff they diff clean against `wf eval`'s.\n";
   return code;
 }
 
@@ -67,6 +101,15 @@ bool parse_flags(int argc, char** argv, int first, CliOptions& options) {
       return nullptr;
     }
     return argv[++i];
+  };
+  // Strict integer-in-range parse for flag values the user typed: trailing
+  // garbage is an error here, never a silent fallback.
+  const auto parse_long = [](const char* v, long min, long max, long& out) {
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || parsed < min || parsed > max) return false;
+    out = parsed;
+    return true;
   };
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -115,6 +158,65 @@ bool parse_flags(int argc, char** argv, int first, CliOptions& options) {
         return false;
       }
       options.classes = static_cast<int>(parsed);
+    } else if (arg == "--host") {
+      const char* v = value(i, "--host");
+      if (v == nullptr) return false;
+      options.host = v;
+    } else if (arg == "--port") {
+      const char* v = value(i, "--port");
+      if (v == nullptr) return false;
+      long port = 0;
+      if (!parse_long(v, 0, 65535, port)) {
+        std::cerr << "wf: --port must be an integer in [0, 65535]\n";
+        return false;
+      }
+      options.port = static_cast<int>(port);
+    } else if (arg == "--slice") {
+      const char* v = value(i, "--slice");
+      if (v == nullptr) return false;
+      const std::string spec = v;
+      const std::size_t slash = spec.find('/');
+      long index = -1, count = 0;
+      if (slash == std::string::npos ||
+          !parse_long(spec.substr(0, slash).c_str(), 0, 4095, index) ||
+          !parse_long(spec.substr(slash + 1).c_str(), 1, 4096, count) || index >= count) {
+        std::cerr << "wf: --slice must be I/N with 0 <= I < N <= 4096\n";
+        return false;
+      }
+      options.slice_index = static_cast<std::size_t>(index);
+      options.slice_count = static_cast<std::size_t>(count);
+    } else if (arg == "--queue" || arg == "--max-batch" || arg == "--batch") {
+      const char* v = value(i, arg.c_str());
+      if (v == nullptr) return false;
+      long parsed = 0;
+      if (!parse_long(v, 1, 1 << 20, parsed)) {
+        std::cerr << "wf: " << arg << " must be an integer in [1, " << (1 << 20) << "]\n";
+        return false;
+      }
+      if (arg == "--queue") {
+        options.queue_capacity = static_cast<std::size_t>(parsed);
+      } else if (arg == "--max-batch") {
+        options.max_batch = static_cast<std::size_t>(parsed);
+      } else {
+        options.query_batch = static_cast<std::size_t>(parsed);
+      }
+    } else if (arg == "--backend") {
+      const char* v = value(i, "--backend");
+      if (v == nullptr) return false;
+      const std::string spec = v;
+      const std::size_t colon = spec.rfind(':');
+      long port = 0;
+      if (colon == std::string::npos || colon == 0 ||
+          !parse_long(spec.substr(colon + 1).c_str(), 1, 65535, port)) {
+        std::cerr << "wf: --backend must be HOST:PORT\n";
+        return false;
+      }
+      options.backends.push_back(
+          {spec.substr(0, colon), static_cast<std::uint16_t>(port)});
+    } else if (arg == "--coordinator") {
+      options.coordinator = true;
+    } else if (arg == "--stop") {
+      options.stop = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "wf: unknown flag " << arg << "\n";
       return false;
@@ -195,17 +297,38 @@ struct TrainEvalWorld {
   }
 };
 
-void write_eval_table(const core::Attacker& attacker, const TrainEvalWorld& world) {
-  const core::EvaluationResult result = attacker.evaluate(world.split.second, 10);
+// The two files every evaluation path emits, from the rankings alone:
+// wf_eval.csv (the top-n summary) and wf_rankings.csv (the top 10 guesses
+// per query, distances as hexfloats so a diff is a bit-identity check).
+// `wf train`, `wf eval` and `wf query` all funnel through here — identical
+// rankings therefore produce byte-identical files.
+void write_eval_outputs(const std::string& attacker_name,
+                        const std::vector<std::vector<core::RankedLabel>>& rankings,
+                        const TrainEvalWorld& world) {
+  const std::vector<int> labels = world.split.second.labels_of();
+  const core::TopNCurve curve = core::curve_from_rankings(rankings, labels, 10);
   util::Table table({"Attacker", "Classes", "Top-1", "Top-3", "Top-5", "Top-10"});
-  table.add_row({attacker.name(), std::to_string(world.classes),
-                 util::Table::pct(result.curve.top(1)), util::Table::pct(result.curve.top(3)),
-                 util::Table::pct(result.curve.top(5)),
-                 util::Table::pct(result.curve.top(10))});
+  table.add_row({attacker_name, std::to_string(world.classes), util::Table::pct(curve.top(1)),
+                 util::Table::pct(curve.top(3)), util::Table::pct(curve.top(5)),
+                 util::Table::pct(curve.top(10))});
   table.print();
   const std::string csv = eval::results_dir() + "/wf_eval.csv";
   table.write_csv(csv);
   std::cout << "CSV written to " << csv << "\n";
+
+  util::Table ranks({"Query", "Rank", "Label", "Votes", "Distance"});
+  for (std::size_t q = 0; q < rankings.size(); ++q) {
+    for (std::size_t r = 0; r < rankings[q].size() && r < 10; ++r) {
+      const core::RankedLabel& entry = rankings[q][r];
+      std::ostringstream distance;
+      distance << std::hexfloat << entry.distance;
+      ranks.add_row({std::to_string(q), std::to_string(r), std::to_string(entry.label),
+                     std::to_string(entry.votes), distance.str()});
+    }
+  }
+  const std::string ranks_csv = eval::results_dir() + "/wf_rankings.csv";
+  ranks.write_csv(ranks_csv);
+  std::cout << "rankings written to " << ranks_csv << "\n";
 }
 
 int cmd_train(const CliOptions& options) {
@@ -224,7 +347,7 @@ int cmd_train(const CliOptions& options) {
   const core::TrainStats stats = attacker->train(world.split.first);
   std::cout << "trained " << attacker->name() << " in " << util::Table::num(stats.seconds, 1)
             << "s\n\n== held-out evaluation ==\n";
-  write_eval_table(*attacker, world);
+  write_eval_outputs(attacker->name(), attacker->fingerprint_batch(world.split.second), world);
   attacker->save(options.model);
   std::cout << "model saved to " << options.model << "\n";
   return 0;
@@ -249,7 +372,104 @@ int cmd_eval(const CliOptions& options) {
     return 1;
   }
   std::cout << "== held-out evaluation (reloaded model) ==\n";
-  write_eval_table(*attacker, world);
+  write_eval_outputs(attacker->name(), attacker->fingerprint_batch(world.split.second), world);
+  return 0;
+}
+
+int cmd_serve(const CliOptions& options) {
+  util::Env::log_effective();
+  std::shared_ptr<serve::Handler> handler;
+  if (options.coordinator) {
+    if (!options.model.empty() || options.slice_count > 1) {
+      std::cerr << "wf: --coordinator takes --backend daemons, not --model/--slice\n";
+      return 1;
+    }
+    if (options.backends.empty()) {
+      std::cerr << "wf: --coordinator needs at least one --backend HOST:PORT\n";
+      return 1;
+    }
+    // Backends may still be binding when the coordinator starts; retry the
+    // handshake for a while instead of racing start order.
+    handler = std::make_shared<serve::CoordinatorHandler>(options.backends, 10000);
+    std::cout << "wf serve: coordinating " << options.backends.size() << " backends\n";
+  } else {
+    if (options.model.empty()) {
+      std::cerr << "wf: serve needs --model FILE (or --coordinator)\n";
+      return 1;
+    }
+    std::unique_ptr<core::Attacker> attacker = io::load_attacker(options.model);
+    util::log_info() << "loaded \"" << attacker->name() << "\" from " << options.model;
+    handler = std::make_shared<serve::LocalHandler>(std::move(attacker), options.slice_index,
+                                                    options.slice_count);
+  }
+
+  serve::ServerConfig config;
+  config.host = options.host;
+  config.port = static_cast<std::uint16_t>(options.port);
+  config.queue_capacity = options.queue_capacity;
+  config.max_batch = options.max_batch;
+  serve::Server server(std::move(handler), config);
+  server.start();
+  if (options.slice_count > 1)
+    std::cout << "wf serve: shard slice " << options.slice_index << "/" << options.slice_count
+              << "\n";
+  // Scripts wait for this exact line before starting clients; flush it.
+  std::cout << "wf serve: listening on " << options.host << ":" << server.port() << std::endl;
+  server.wait();
+  server.stop();
+  const serve::ServerStats stats = server.stats();
+  std::cout << "wf serve: stopped after " << stats.requests << " requests (" << stats.queries
+            << " queries in " << stats.batches << " model calls, " << stats.rejected
+            << " rejected for backpressure)\n";
+  return 0;
+}
+
+int cmd_query(const CliOptions& options) {
+  if (options.port == 0) {
+    std::cerr << "wf: query needs --port P (the daemon's listen port)\n";
+    return 1;
+  }
+  serve::Client client(options.host, static_cast<std::uint16_t>(options.port), 10000);
+  if (options.stop) {
+    client.stop_server();
+    std::cout << "wf query: daemon at " << options.host << ":" << options.port
+              << " stopped\n";
+    return 0;
+  }
+  util::Env::log_effective();
+  const serve::ServerInfo info = client.hello();
+  util::log_info() << "daemon serves \"" << info.attacker << "\" (" << info.n_references
+                   << " references, " << info.classes.size() << " classes)";
+  TrainEvalWorld world(options.classes);
+  // Same guard as `wf eval`: scoring this crawl against a daemon trained on
+  // another world would be silently meaningless.
+  if (info.classes != world.split.first.classes()) {
+    std::cerr << "wf: daemon targets " << info.classes.size() << " classes but the crawl has "
+              << world.split.first.classes().size()
+              << "; pass the --classes/--smoke used at training time\n";
+    return 1;
+  }
+
+  // Stream the held-out split in request frames of --batch queries;
+  // backpressure retries until accepted. Rankings are batch-composition
+  // independent, so the frame size cannot change the result.
+  const data::Dataset& test = world.split.second;
+  std::vector<std::vector<core::RankedLabel>> rankings;
+  rankings.reserve(test.size());
+  for (std::size_t begin = 0; begin < test.size(); begin += options.query_batch) {
+    const std::size_t end = std::min(test.size(), begin + options.query_batch);
+    nn::Matrix batch(end - begin, test.feature_dim());
+    for (std::size_t i = begin; i < end; ++i) batch.set_row(i - begin, test[i].features);
+    serve::Rankings part = client.query_until_accepted(batch);
+    if (part.size() != end - begin)
+      throw io::IoError("daemon answered " + std::to_string(part.size()) + " rankings for " +
+                        std::to_string(end - begin) + " queries");
+    for (std::vector<core::RankedLabel>& ranking : part) rankings.push_back(std::move(ranking));
+  }
+
+  std::cout << "== held-out evaluation (served by " << options.host << ":" << options.port
+            << ") ==\n";
+  write_eval_outputs(info.attacker, rankings, world);
   return 0;
 }
 
@@ -268,6 +488,8 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(options);
     if (command == "train") return cmd_train(options);
     if (command == "eval") return cmd_eval(options);
+    if (command == "serve") return cmd_serve(options);
+    if (command == "query") return cmd_query(options);
   } catch (const std::exception& e) {
     std::cerr << "wf: " << e.what() << "\n";
     return 1;

@@ -41,6 +41,13 @@ std::vector<std::vector<RankedLabel>> AdaptiveFingerprinter::fingerprint_batch(
   return knn_.rank_batch(references_, model_.embed(traces.to_matrix()));
 }
 
+SliceScan AdaptiveFingerprinter::scan_slice(const data::Dataset& traces,
+                                            std::size_t slice_index,
+                                            std::size_t slice_count) const {
+  return knn_.scan_slice(references_, model_.embed(traces.to_matrix()), slice_index,
+                         slice_count);
+}
+
 double AdaptiveFingerprinter::probe_class_accuracy(int label, const data::Dataset& probe) const {
   if (probe.empty()) return 0.0;
   const data::Dataset mine = probe.filter([label](int l) { return l == label; });

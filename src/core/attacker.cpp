@@ -1,6 +1,7 @@
 #include "core/attacker.hpp"
 
 #include <fstream>
+#include <stdexcept>
 
 #include "io/serialize.hpp"
 #include "util/stopwatch.hpp"
@@ -13,19 +14,16 @@ std::vector<RankedLabel> Attacker::fingerprint(std::span<const float> features) 
   return fingerprint_batch(one).front();
 }
 
-EvaluationResult Attacker::evaluate(const data::Dataset& test, std::size_t max_n) const {
-  util::Stopwatch watch;
-  EvaluationResult result;
-  result.n_samples = test.size();
-  if (test.empty()) return result;
+TopNCurve curve_from_rankings(const std::vector<std::vector<RankedLabel>>& rankings,
+                              std::span<const int> labels, std::size_t max_n) {
+  if (rankings.size() != labels.size())
+    throw std::invalid_argument("curve_from_rankings: rankings/labels size mismatch");
+  if (labels.empty()) return TopNCurve();
   std::vector<double> hits(std::max<std::size_t>(1, max_n), 0.0);
-  // Rank every query in one batched pass; the hit aggregation stays serial
-  // and in sample order.
-  const std::vector<std::vector<RankedLabel>> rankings = fingerprint_batch(test);
-  for (std::size_t i = 0; i < test.size(); ++i) {
+  for (std::size_t i = 0; i < rankings.size(); ++i) {
     const std::vector<RankedLabel>& ranking = rankings[i];
     for (std::size_t r = 0; r < ranking.size() && r < hits.size(); ++r) {
-      if (ranking[r].label == test[i].label) {
+      if (ranking[r].label == labels[i]) {
         hits[r] += 1.0;
         break;
       }
@@ -36,9 +34,19 @@ EvaluationResult Attacker::evaluate(const data::Dataset& test, std::size_t max_n
   double acc = 0.0;
   for (std::size_t n = 0; n < hits.size(); ++n) {
     acc += hits[n];
-    curve[n] = acc / static_cast<double>(test.size());
+    curve[n] = acc / static_cast<double>(labels.size());
   }
-  result.curve = TopNCurve(std::move(curve));
+  return TopNCurve(std::move(curve));
+}
+
+EvaluationResult Attacker::evaluate(const data::Dataset& test, std::size_t max_n) const {
+  util::Stopwatch watch;
+  EvaluationResult result;
+  result.n_samples = test.size();
+  if (test.empty()) return result;
+  // Rank every query in one batched pass; the hit aggregation stays serial
+  // and in sample order.
+  result.curve = curve_from_rankings(fingerprint_batch(test), test.labels_of(), max_n);
   result.seconds = watch.seconds();
   return result;
 }

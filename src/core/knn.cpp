@@ -13,15 +13,11 @@ namespace {
 
 constexpr std::size_t kQueryBlock = 32;  // queries per GEMM tile / pool task
 
-// One top-k candidate: squared distance plus a packed key carrying the
-// row's global insertion id (upper bits) and its global class id (lower
-// kClassBits). Insertion ids are unique, so comparing packed keys compares
-// insertion ids — pair's lexicographic < therefore orders candidates by
-// (dist, gid), identical to a partial_sort over (dist, index) pairs of one
-// unsharded scan, while keeping heap elements at 16 bytes.
-using Candidate = std::pair<double, std::uint64_t>;
-
-constexpr std::uint64_t kClassBits = 24;  // up to ~16.7M classes, ~1.1T rows
+// Candidates (see knn.hpp): insertion ids are unique, so comparing packed
+// keys compares insertion ids — pair's lexicographic < therefore orders
+// candidates by (dist, gid), identical to a partial_sort over (dist, index)
+// pairs of one unsharded scan, while keeping heap elements at 16 bytes.
+constexpr std::uint64_t kClassBits = kCandidateClassBits;  // ~16.7M classes, ~1.1T rows
 constexpr std::uint64_t kClassMask = (std::uint64_t{1} << kClassBits) - 1;
 
 inline std::uint64_t pack_key(std::uint64_t gid, int class_id) {
@@ -84,11 +80,13 @@ void scan_shard(const ShardView& shard, const float* dots, double query_norm, st
 
 // Keep the k globally smallest candidates, count their votes per class and
 // emit the sorted ranking. The union of per-shard k-best lists always
-// contains the global k best, so this equals the unsharded selection.
-void finalize_ranking(const ReferenceStore& refs, std::size_t k, std::vector<Candidate>& merged,
-                      std::vector<int>& votes, const double* best,
-                      std::vector<RankedLabel>& out) {
-  const std::size_t n_ids = refs.n_class_ids();
+// contains the global k best, so this equals the unsharded selection; the
+// candidate set selected by nth_element is order-independent because keys
+// are unique, which is what makes the scatter/gather fold exact.
+template <typename LabelOf>
+void finalize_candidates(std::size_t n_ids, LabelOf label_of, std::size_t k,
+                         std::vector<Candidate>& merged, std::vector<int>& votes,
+                         const double* best, std::vector<RankedLabel>& out) {
   if (merged.size() > k) {
     std::nth_element(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(k),
                      merged.end());
@@ -99,12 +97,20 @@ void finalize_ranking(const ReferenceStore& refs, std::size_t k, std::vector<Can
   out.clear();
   out.reserve(n_ids);
   for (std::size_t id = 0; id < n_ids; ++id)
-    out.push_back({refs.label_of_id(id), votes[id], best[id]});
+    out.push_back({label_of(id), votes[id], best[id]});
   std::sort(out.begin(), out.end(), [](const RankedLabel& a, const RankedLabel& b) {
     if (a.votes != b.votes) return a.votes > b.votes;
     if (a.distance != b.distance) return a.distance < b.distance;
     return a.label < b.label;
   });
+}
+
+void finalize_ranking(const ReferenceStore& refs, std::size_t k, std::vector<Candidate>& merged,
+                      std::vector<int>& votes, const double* best,
+                      std::vector<RankedLabel>& out) {
+  finalize_candidates(
+      refs.n_class_ids(), [&](std::size_t id) { return refs.label_of_id(id); }, k, merged,
+      votes, best, out);
 }
 
 }  // namespace
@@ -203,6 +209,83 @@ std::vector<std::vector<RankedLabel>> KnnClassifier::rank_batch(
                          rankings[t0 + q]);
     }
   });
+  return rankings;
+}
+
+SliceScan KnnClassifier::scan_slice(const ReferenceStore& references, const nn::Matrix& queries,
+                                    std::size_t slice_index, std::size_t slice_count) const {
+  if (slice_count == 0 || slice_index >= slice_count)
+    throw std::invalid_argument("KnnClassifier::scan_slice: slice index out of range");
+  const std::size_t m = queries.rows();
+  const std::size_t n = references.size();
+  SliceScan out;
+  out.n_queries = m;
+  out.n_class_ids = references.n_class_ids();
+  out.candidates.resize(m);
+  out.best.assign(m * out.n_class_ids, 1e300);
+  if (m == 0 || n == 0) return out;
+  if (queries.cols() != references.dim())
+    throw std::invalid_argument("KnnClassifier::scan_slice: query width mismatch");
+  const std::size_t dim = references.dim();
+  const std::size_t n_shards = references.shard_count();
+  const std::size_t n_ids = out.n_class_ids;
+  // k is bounded by the *whole* store's row count, exactly as in rank_batch:
+  // the slice is a partition of one store, not a smaller store.
+  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(std::max(0, k_)), n);
+
+  util::global_pool().parallel_blocks(0, m, kQueryBlock, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t t0 = lo; t0 < hi; t0 += kQueryBlock) {
+      const std::size_t t1 = std::min(hi, t0 + kQueryBlock);
+      const std::size_t rows = t1 - t0;
+      RankScratch& sc = scratch();
+      sc.qnorms.resize(rows);
+      for (std::size_t q = 0; q < rows; ++q)
+        sc.qnorms[q] = nn::squared_norm(queries.data() + (t0 + q) * dim, dim);
+      for (std::size_t s = slice_index; s < n_shards; s += slice_count) {
+        const ShardView shard = references.shard_view(s);
+        if (shard.rows == 0) continue;
+        sc.dots.resize(rows * shard.rows);
+        nn::gemm_nt_serial(queries.data() + t0 * dim, rows, shard.data, shard.rows, dim,
+                           sc.dots.data());
+        for (std::size_t q = 0; q < rows; ++q)
+          scan_shard(shard, sc.dots.data() + q * shard.rows, sc.qnorms[q], k, sc.heap,
+                     out.best.data() + (t0 + q) * n_ids, out.candidates[t0 + q]);
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<std::vector<RankedLabel>> merge_slice_scans(std::span<const int> labels_by_id,
+                                                        int k, std::size_t n_total,
+                                                        const std::vector<SliceScan>& slices) {
+  const std::size_t n_ids = labels_by_id.size();
+  const std::size_t m = slices.empty() ? 0 : slices.front().n_queries;
+  for (const SliceScan& slice : slices) {
+    if (slice.n_class_ids != n_ids)
+      throw std::invalid_argument("merge_slice_scans: class-id space mismatch");
+    if (slice.n_queries != m)
+      throw std::invalid_argument("merge_slice_scans: query count mismatch");
+  }
+  std::vector<std::vector<RankedLabel>> rankings(m);
+  if (n_total == 0) return rankings;
+  const std::size_t kk =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(0, k)), n_total);
+  std::vector<Candidate> merged;
+  std::vector<double> best;
+  std::vector<int> votes;
+  for (std::size_t q = 0; q < m; ++q) {
+    merged.clear();
+    best.assign(n_ids, 1e300);
+    for (const SliceScan& slice : slices) {
+      merged.insert(merged.end(), slice.candidates[q].begin(), slice.candidates[q].end());
+      const double* slice_best = slice.best_of(q);
+      for (std::size_t id = 0; id < n_ids; ++id) best[id] = std::min(best[id], slice_best[id]);
+    }
+    finalize_candidates(
+        n_ids, [&](std::size_t id) { return labels_by_id[id]; }, kk, merged, votes,
+        best.data(), rankings[q]);
+  }
   return rankings;
 }
 

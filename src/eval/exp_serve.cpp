@@ -1,0 +1,115 @@
+#include "eval/exp_serve.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "data/build.hpp"
+#include "serve/client.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/server.hpp"
+#include "util/env.hpp"
+
+namespace wf::eval {
+
+namespace {
+
+double percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const std::size_t i = static_cast<std::size_t>(p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[i];
+}
+
+}  // namespace
+
+util::Table run_perf_serve(WikiScenario& scenario) {
+  const ScenarioConfig& cfg = scenario.config();
+  const bool smoke = util::Env::smoke();
+  const int classes = cfg.exp1_class_counts.front();
+
+  data::DatasetBuildOptions crawl;
+  crawl.samples_per_class = cfg.samples_per_class;
+  crawl.sequence = cfg.seq3;
+  crawl.browser = cfg.browser;
+  crawl.seed = cfg.crawl_seed + static_cast<std::uint64_t>(classes);
+  const data::Dataset dataset =
+      data::build_dataset(scenario.wiki_site(classes), scenario.wiki_farm(), {}, crawl);
+  const data::SampleSplit split =
+      data::split_samples(dataset, cfg.train_samples_per_class, cfg.split_seed);
+
+  util::log_info() << "perf_serve: training the adaptive attacker on " << classes
+                   << " classes (" << split.first.size() << " samples)";
+  const std::unique_ptr<core::Attacker> attacker =
+      attacker_factory("adaptive")(cfg.embedding3, cfg);
+  attacker->train(split.first);
+
+  const data::Dataset& test = split.second;
+  // Enough request frames per configuration for a stable p99: loop the
+  // held-out split until at least this many queries went over the wire.
+  const std::size_t min_queries = smoke ? 64 : 1024;
+  const std::vector<std::size_t> shard_counts = smoke ? std::vector<std::size_t>{1, 2}
+                                                      : std::vector<std::size_t>{1, 2, 4};
+  const std::vector<std::size_t> batch_sizes = smoke ? std::vector<std::size_t>{1, 8, 32}
+                                                     : std::vector<std::size_t>{1, 8, 32, 128};
+
+  util::Table table(
+      {"Shards", "Batch", "Requests", "Queries", "q/s", "p50 (ms)", "p99 (ms)"});
+  for (const std::size_t n_shards : shard_counts) {
+    // Backends first (slice i of n over the same trained model), then the
+    // front daemon: the model itself at 1 shard, a coordinator above them
+    // otherwise — all over real loopback sockets, like a deployment.
+    std::vector<std::unique_ptr<serve::Server>> servers;
+    std::vector<serve::BackendAddress> backends;
+    serve::ServerConfig config;  // ephemeral port, default queue/batch caps
+    if (n_shards == 1) {
+      servers.push_back(std::make_unique<serve::Server>(
+          std::make_shared<serve::LocalHandler>(attacker->clone()), config));
+      servers.back()->start();
+    } else {
+      for (std::size_t slice = 0; slice < n_shards; ++slice) {
+        servers.push_back(std::make_unique<serve::Server>(
+            std::make_shared<serve::LocalHandler>(attacker->clone(), slice, n_shards),
+            config));
+        servers.back()->start();
+        backends.push_back({config.host, servers.back()->port()});
+      }
+      servers.push_back(std::make_unique<serve::Server>(
+          std::make_shared<serve::CoordinatorHandler>(backends, 1000), config));
+      servers.back()->start();
+    }
+    const std::uint16_t front_port = servers.back()->port();
+
+    for (const std::size_t batch : batch_sizes) {
+      serve::Client client(config.host, front_port, 1000);
+      std::vector<double> latencies_ms;
+      util::Stopwatch total;
+      std::size_t queries = 0;
+      while (queries < min_queries) {
+        for (std::size_t begin = 0; begin < test.size(); begin += batch) {
+          const std::size_t end = std::min(test.size(), begin + batch);
+          nn::Matrix frame(end - begin, test.feature_dim());
+          for (std::size_t i = begin; i < end; ++i)
+            frame.set_row(i - begin, test[i].features);
+          util::Stopwatch request;
+          client.query_until_accepted(frame);
+          latencies_ms.push_back(request.millis());
+          queries += end - begin;
+        }
+      }
+      const double seconds = total.seconds();
+      std::sort(latencies_ms.begin(), latencies_ms.end());
+      table.add_row({std::to_string(n_shards), std::to_string(batch),
+                     std::to_string(latencies_ms.size()), std::to_string(queries),
+                     util::Table::num(static_cast<double>(queries) / seconds, 1),
+                     util::Table::num(percentile(latencies_ms, 0.50), 3),
+                     util::Table::num(percentile(latencies_ms, 0.99), 3)});
+    }
+    for (const std::unique_ptr<serve::Server>& server : servers) server->stop();
+  }
+
+  table.write_csv(results_dir() + "/perf_serve.csv");
+  return table;
+}
+
+}  // namespace wf::eval

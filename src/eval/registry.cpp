@@ -11,6 +11,7 @@
 #include "eval/exp_crosssite.hpp"
 #include "eval/exp_distinguish.hpp"
 #include "eval/exp_padding.hpp"
+#include "eval/exp_serve.hpp"
 #include "eval/exp_static.hpp"
 #include "eval/exp_transfer.hpp"
 #include "eval/exp_transport.hpp"
@@ -206,6 +207,25 @@ int run_defense(const AttackerFactory& make_attacker) {
   return 0;
 }
 
+// Serving-path benchmark (beyond the paper): the `wf serve` daemon
+// measured end to end over loopback — q/s and p50/p99 request latency for
+// every shard count x request batch size, coordinator path included.
+//
+// Expected shape: larger request batches amortize framing and dispatch
+// (q/s up, per-request latency up); the scatter/gather tiers add a fan-out
+// hop that costs latency at small batches and pays off only once per-shard
+// scan time dominates.
+int run_perf_serve(const AttackerFactory&) {
+  util::BenchReport report("perf_serve");
+  WikiScenario scenario;
+  std::cout << "== perf_serve: daemon q/s and latency (shards x batch) ==\n";
+  const util::Table table = run_perf_serve(scenario);
+  table.print();
+  std::cout << "CSV written to " << results_dir() << "/perf_serve.csv\n";
+  report_rows(report, static_cast<double>(table.n_rows()));
+  return 0;
+}
+
 // Design-choice ablations over the adaptive attacker's internals plus the
 // §VI-C open world (see exp_ablation.cpp).
 int run_ablation(const AttackerFactory&) {
@@ -248,6 +268,9 @@ const std::vector<Experiment>& experiments() {
        run_defense},
       {"ablation", "bench_ablation",
        "design-choice ablations + open-world detection incl. PR sweep", false, run_ablation},
+      {"perf_serve", "bench_perf_serve",
+       "wf serve daemon q/s + p50/p99 latency vs batch size x shard count", false,
+       run_perf_serve},
   };
   return registry;
 }
@@ -266,7 +289,14 @@ int run_legacy(const char* legacy_binary) {
     return 1;
   }
   util::Env::log_effective();
-  return experiment->run({});
+  try {
+    return experiment->run({});
+  } catch (const std::exception& e) {
+    // E.g. a result table that failed to write: exit non-zero instead of
+    // letting the exception escape main.
+    std::cerr << legacy_binary << ": " << e.what() << "\n";
+    return 1;
+  }
 }
 
 }  // namespace wf::eval

@@ -1,0 +1,64 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace wf::serve {
+
+Client::Client(const std::string& host, std::uint16_t port, int retry_ms)
+    : socket_(tcp_connect(host, port, retry_ms)) {}
+
+ParsedFrame Client::roundtrip(const std::string& frame_bytes,
+                              const std::string& expected_kind) {
+  send_frame(socket_, frame_bytes);
+  std::optional<ParsedFrame> reply = recv_frame(socket_);
+  if (!reply.has_value()) throw io::IoError("server closed the connection mid-request");
+  if (reply->kind == kFrameError) {
+    const ErrorReply error = read_error(*reply->reader);
+    throw ServeError(error.retryable, error.message);
+  }
+  if (reply->kind != expected_kind)
+    throw io::IoError("unexpected reply kind \"" + reply->kind + "\" (wanted \"" +
+                      expected_kind + "\")");
+  return std::move(*reply);
+}
+
+ServerInfo Client::hello() {
+  ParsedFrame reply = roundtrip(encode_frame(kFrameHello), kFrameInfo);
+  ServerInfo info = read_info(*reply.reader);
+  io::detail::require_consumed(*reply.stream, reply.kind);
+  return info;
+}
+
+Rankings Client::query(const nn::Matrix& features) {
+  ParsedFrame reply = roundtrip(
+      encode_frame(kFrameQuery, [&](io::Writer& w) { write_features(w, features); }),
+      kFrameRankings);
+  Rankings rankings = read_rankings(*reply.reader);
+  io::detail::require_consumed(*reply.stream, reply.kind);
+  return rankings;
+}
+
+core::SliceScan Client::scan(const nn::Matrix& features) {
+  ParsedFrame reply = roundtrip(
+      encode_frame(kFrameScan, [&](io::Writer& w) { write_features(w, features); }),
+      kFrameSlice);
+  core::SliceScan scan = read_slice_scan(*reply.reader);
+  io::detail::require_consumed(*reply.stream, reply.kind);
+  return scan;
+}
+
+Rankings Client::query_until_accepted(const nn::Matrix& features) {
+  while (true) {
+    try {
+      return query(features);
+    } catch (const ServeError& e) {
+      if (!e.retryable()) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+void Client::stop_server() { roundtrip(encode_frame(kFrameStop), kFrameBye); }
+
+}  // namespace wf::serve

@@ -1,0 +1,98 @@
+#include "serve/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace wf::serve {
+
+CoordinatorHandler::CoordinatorHandler(const std::vector<BackendAddress>& backends,
+                                       int retry_ms) {
+  if (backends.empty()) throw std::invalid_argument("coordinator: no backends");
+
+  std::vector<std::pair<ServerInfo, std::unique_ptr<Client>>> connected;
+  connected.reserve(backends.size());
+  for (const BackendAddress& address : backends) {
+    auto client = std::make_unique<Client>(address.host, address.port, retry_ms);
+    ServerInfo info = client->hello();
+    const std::string where = address.host + ":" + std::to_string(address.port);
+    if (info.slice_count != backends.size())
+      throw std::runtime_error("coordinator: backend " + where + " serves slice " +
+                               std::to_string(info.slice_index) + "/" +
+                               std::to_string(info.slice_count) + " but " +
+                               std::to_string(backends.size()) + " backends were given");
+    if (info.id_to_label.empty())
+      throw std::runtime_error("coordinator: backend " + where +
+                               " cannot slice-scan (attacker \"" + info.attacker + "\")");
+    connected.emplace_back(std::move(info), std::move(client));
+  }
+
+  std::sort(connected.begin(), connected.end(),
+            [](const auto& a, const auto& b) { return a.first.slice_index < b.first.slice_index; });
+
+  const ServerInfo& first = connected.front().first;
+  for (std::size_t i = 0; i < connected.size(); ++i) {
+    const ServerInfo& info = connected[i].first;
+    if (info.slice_index != i)
+      throw std::runtime_error("coordinator: backend slices do not cover 0.." +
+                               std::to_string(connected.size() - 1) + " exactly once");
+    if (info.attacker != first.attacker || info.n_references != first.n_references ||
+        info.knn_k != first.knn_k || info.classes != first.classes ||
+        info.id_to_label != first.id_to_label)
+      throw std::runtime_error(
+          "coordinator: backends disagree about the model (attacker/references/k/classes); "
+          "they must all load the same saved file");
+  }
+
+  info_ = first;
+  info_.slice_index = 0;
+  info_.slice_count = 1;
+  clients_.reserve(connected.size());
+  for (auto& [info, client] : connected) clients_.push_back(std::move(client));
+}
+
+ServerInfo CoordinatorHandler::info() const { return info_; }
+
+Rankings CoordinatorHandler::rank(const nn::Matrix& queries) {
+  // Scatter: every backend scans its slice concurrently (each over its own
+  // connection). Backpressure from a busy backend is retried here so one
+  // loaded shard only slows the batch down instead of failing it.
+  std::vector<core::SliceScan> slices(clients_.size());
+  std::vector<std::exception_ptr> errors(clients_.size());
+  std::vector<std::thread> threads;
+  threads.reserve(clients_.size());
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        while (true) {
+          try {
+            slices[i] = clients_[i]->scan(queries);
+            return;
+          } catch (const ServeError& e) {
+            if (!e.retryable()) throw;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& error : errors)
+    if (error) std::rethrow_exception(error);
+
+  // Gather: fold the slices with the same (dist, insertion id) merge the
+  // in-process sharded scan uses — bit-identical to an unsharded answer.
+  return core::merge_slice_scans(info_.id_to_label, info_.knn_k,
+                                 static_cast<std::size_t>(info_.n_references), slices);
+}
+
+core::SliceScan CoordinatorHandler::scan(const nn::Matrix&) {
+  throw std::runtime_error("a coordinator cannot serve a shard slice");
+}
+
+}  // namespace wf::serve

@@ -1,0 +1,175 @@
+#include "serve/frame.hpp"
+
+namespace wf::serve {
+
+namespace {
+
+// Bounds on deserialized counts beyond what the frame cap already implies:
+// a corrupt count must raise IoError before any allocation.
+constexpr std::uint64_t kMaxQueries = std::uint64_t{1} << 24;
+constexpr std::uint64_t kMaxEntries = std::uint64_t{1} << 24;
+
+std::uint64_t checked(std::uint64_t n, std::uint64_t max, const char* what) {
+  if (n > max) throw io::IoError(std::string("corrupt count: ") + what);
+  return n;
+}
+
+}  // namespace
+
+std::string encode_frame(const std::string& kind,
+                         const std::function<void(io::Writer&)>& body) {
+  std::ostringstream payload_buffer;
+  io::Writer payload(payload_buffer);
+  io::write_header(payload, kind);
+  if (body) body(payload);
+  const std::string bytes = std::move(payload_buffer).str();
+  if (bytes.size() > kMaxFrameBytes) throw io::IoError("frame exceeds the 1 GiB cap");
+  std::ostringstream frame_buffer;
+  io::Writer frame(frame_buffer);
+  frame.u64(bytes.size());
+  frame.stream().write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!frame.stream()) throw io::IoError("write failed");
+  return std::move(frame_buffer).str();
+}
+
+ParsedFrame parse_frame(std::string payload) {
+  ParsedFrame frame;
+  frame.stream = std::make_unique<std::istringstream>(std::move(payload));
+  frame.reader = std::make_unique<io::Reader>(*frame.stream);
+  frame.kind = io::read_header(*frame.reader);
+  return frame;
+}
+
+void send_frame(Socket& socket, const std::string& frame_bytes) {
+  socket.send_all(frame_bytes.data(), frame_bytes.size());
+}
+
+std::optional<ParsedFrame> recv_frame(Socket& socket) {
+  std::uint8_t prefix[8];
+  if (!socket.recv_exact(prefix, 8)) return std::nullopt;
+  std::uint64_t length = 0;
+  for (int i = 0; i < 8; ++i) length |= static_cast<std::uint64_t>(prefix[i]) << (8 * i);
+  if (length > kMaxFrameBytes) throw io::IoError("oversized frame length");
+  std::string payload(length, '\0');
+  if (length > 0 && !socket.recv_exact(payload.data(), length))
+    throw io::IoError("unexpected end of stream");
+  return parse_frame(std::move(payload));
+}
+
+void write_features(io::Writer& out, const nn::Matrix& features) {
+  io::write_section(out, "FEAT", [&](io::Writer& w) { io::save_matrix(w, features); });
+}
+
+nn::Matrix read_features(io::Reader& in) {
+  return io::parse_section(in, "FEAT", [](io::Reader& r) { return io::load_matrix(r); });
+}
+
+void write_rankings(io::Writer& out, const Rankings& rankings) {
+  io::write_section(out, "RANK", [&](io::Writer& w) {
+    w.u64(rankings.size());
+    for (const std::vector<core::RankedLabel>& ranking : rankings) {
+      w.u64(ranking.size());
+      for (const core::RankedLabel& entry : ranking) {
+        w.i32(entry.label);
+        w.i32(entry.votes);
+        w.f64(entry.distance);
+      }
+    }
+  });
+}
+
+Rankings read_rankings(io::Reader& in) {
+  return io::parse_section(in, "RANK", [](io::Reader& r) {
+    Rankings rankings(checked(r.u64(), kMaxQueries, "queries"));
+    for (std::vector<core::RankedLabel>& ranking : rankings) {
+      ranking.resize(checked(r.u64(), kMaxEntries, "ranking entries"));
+      for (core::RankedLabel& entry : ranking) {
+        entry.label = r.i32();
+        entry.votes = r.i32();
+        entry.distance = r.f64();
+      }
+    }
+    return rankings;
+  });
+}
+
+void write_slice_scan(io::Writer& out, const core::SliceScan& scan) {
+  io::write_section(out, "PART", [&](io::Writer& w) {
+    w.u64(scan.n_queries);
+    w.u64(scan.n_class_ids);
+    for (const std::vector<core::Candidate>& candidates : scan.candidates) {
+      w.u64(candidates.size());
+      for (const core::Candidate& c : candidates) {
+        w.f64(c.first);
+        w.u64(c.second);
+      }
+    }
+    w.f64_vec(scan.best);
+  });
+}
+
+core::SliceScan read_slice_scan(io::Reader& in) {
+  return io::parse_section(in, "PART", [](io::Reader& r) {
+    core::SliceScan scan;
+    scan.n_queries = checked(r.u64(), kMaxQueries, "queries");
+    scan.n_class_ids = checked(r.u64(), kMaxEntries, "class ids");
+    scan.candidates.resize(scan.n_queries);
+    for (std::vector<core::Candidate>& candidates : scan.candidates) {
+      candidates.resize(checked(r.u64(), kMaxEntries, "candidates"));
+      for (core::Candidate& c : candidates) {
+        c.first = r.f64();
+        c.second = r.u64();
+      }
+    }
+    scan.best = r.f64_vec();
+    if (scan.best.size() != scan.n_queries * scan.n_class_ids)
+      throw io::IoError("slice scan best-distance table has the wrong shape");
+    return scan;
+  });
+}
+
+void write_info(io::Writer& out, const ServerInfo& info) {
+  io::write_section(out, "INFO", [&](io::Writer& w) {
+    w.str(info.attacker);
+    w.u64(info.n_references);
+    w.u64(info.slice_index);
+    w.u64(info.slice_count);
+    w.i32(info.knn_k);
+    w.i32_vec(info.classes);
+    w.i32_vec(info.id_to_label);
+  });
+}
+
+ServerInfo read_info(io::Reader& in) {
+  return io::parse_section(in, "INFO", [](io::Reader& r) {
+    ServerInfo info;
+    info.attacker = r.str();
+    info.n_references = r.u64();
+    info.slice_index = r.u64();
+    info.slice_count = r.u64();
+    info.knn_k = r.i32();
+    info.classes = r.i32_vec();
+    info.id_to_label = r.i32_vec();
+    if (info.slice_count == 0 || info.slice_index >= info.slice_count)
+      throw io::IoError("corrupt server info (slice)");
+    return info;
+  });
+}
+
+void write_error(io::Writer& out, const ErrorReply& error) {
+  io::write_section(out, "EMSG", [&](io::Writer& w) {
+    w.u8(error.retryable ? 1 : 0);
+    w.str(error.message);
+  });
+}
+
+ErrorReply read_error(io::Reader& in) {
+  return io::parse_section(in, "EMSG", [](io::Reader& r) {
+    ErrorReply error;
+    error.retryable = r.u8() != 0;
+    error.message = r.str();
+    return error;
+  });
+}
+
+}  // namespace wf::serve

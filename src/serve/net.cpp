@@ -1,0 +1,150 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "io/binary.hpp"
+
+namespace wf::serve {
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw io::IoError("not an IPv4 address: " + host);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_.exchange(-1);
+  }
+  return *this;
+}
+
+void Socket::send_all(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw io::IoError(std::string("send failed: ") + std::strerror(errno));
+    }
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+}
+
+bool Socket::recv_exact(void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw io::IoError(std::string("recv failed: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF at a frame boundary
+      throw io::IoError("unexpected end of stream");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void Socket::shutdown_both() {
+  const int fd = fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Socket::close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port, int retry_ms) {
+  const sockaddr_in addr = make_addr(host, port);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(retry_ms);
+  while (true) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw io::IoError(std::string("socket failed: ") + std::strerror(errno));
+    Socket sock(fd);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return sock;
+    }
+    const int err = errno;
+    if ((err != ECONNREFUSED && err != ETIMEDOUT) ||
+        std::chrono::steady_clock::now() >= deadline)
+      throw io::IoError("cannot connect to " + host + ":" + std::to_string(port) + ": " +
+                        std::strerror(err));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+Listener::Listener(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw io::IoError(std::string("socket failed: ") + std::strerror(errno));
+  fd_ = fd;
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string what = std::string("cannot bind ") + host + ":" +
+                             std::to_string(port) + ": " + std::strerror(errno);
+    close();
+    throw io::IoError(what);
+  }
+  if (::listen(fd_, 64) != 0) {
+    const std::string what = std::string("listen failed: ") + std::strerror(errno);
+    close();
+    throw io::IoError(what);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket Listener::accept() {
+  int lfd;
+  while ((lfd = fd_.load()) >= 0) {
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    break;  // listener closed (or unrecoverable): signal shutdown
+  }
+  return Socket();
+}
+
+void Listener::close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() wakes a thread blocked in accept(); close() alone does not
+    // reliably do so on Linux.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace wf::serve

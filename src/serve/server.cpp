@@ -1,0 +1,289 @@
+#include "serve/server.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "core/adaptive.hpp"
+#include "data/dataset.hpp"
+
+namespace wf::serve {
+
+namespace {
+
+// The wire carries bare feature matrices; attackers consume labeled
+// datasets. Labels are irrelevant for fingerprinting, so zero-fill them.
+data::Dataset matrix_to_dataset(const nn::Matrix& m) {
+  data::Dataset dataset(m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto row = m.row_span(i);
+    dataset.add({std::vector<float>(row.begin(), row.end()), 0});
+  }
+  return dataset;
+}
+
+std::string encode_error(bool retryable, const std::string& message) {
+  return encode_frame(kFrameError,
+                      [&](io::Writer& w) { write_error(w, {retryable, message}); });
+}
+
+}  // namespace
+
+LocalHandler::LocalHandler(std::unique_ptr<core::Attacker> attacker, std::size_t slice_index,
+                           std::size_t slice_count)
+    : attacker_(std::move(attacker)),
+      slice_index_(slice_index),
+      slice_count_(slice_count == 0 ? 1 : slice_count) {
+  if (!attacker_) throw std::invalid_argument("LocalHandler: null attacker");
+  if (slice_index_ >= slice_count_)
+    throw std::invalid_argument("LocalHandler: slice index out of range");
+  adaptive_ = dynamic_cast<const core::AdaptiveFingerprinter*>(attacker_.get());
+  if (slice_count_ > 1 && adaptive_ == nullptr)
+    throw std::invalid_argument("LocalHandler: attacker \"" + attacker_->name() +
+                                "\" cannot serve a shard slice (no sharded reference set)");
+}
+
+ServerInfo LocalHandler::info() const {
+  ServerInfo info;
+  info.attacker = attacker_->name();
+  info.slice_index = slice_index_;
+  info.slice_count = slice_count_;
+  info.classes = attacker_->target_classes();
+  if (adaptive_ != nullptr) {
+    info.n_references = adaptive_->references().size();
+    info.knn_k = adaptive_->classifier().k();
+    info.id_to_label = adaptive_->references().id_to_label();
+  }
+  return info;
+}
+
+Rankings LocalHandler::rank(const nn::Matrix& queries) {
+  return attacker_->fingerprint_batch(matrix_to_dataset(queries));
+}
+
+core::SliceScan LocalHandler::scan(const nn::Matrix& queries) {
+  if (adaptive_ == nullptr)
+    throw std::runtime_error("attacker \"" + attacker_->name() +
+                             "\" does not support slice scans");
+  return adaptive_->scan_slice(matrix_to_dataset(queries), slice_index_, slice_count_);
+}
+
+Server::Server(std::shared_ptr<Handler> handler, ServerConfig config)
+    : handler_(std::move(handler)), config_(config), queue_(config.queue_capacity) {
+  if (!handler_) throw std::invalid_argument("Server: null handler");
+  if (config_.max_batch == 0) config_.max_batch = 1;
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  listener_ = std::make_unique<Listener>(config_.host, config_.port);
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+  worker_thread_ = std::thread(&Server::worker_loop, this);
+}
+
+std::uint16_t Server::port() const { return listener_ ? listener_->port() : 0; }
+
+void Server::accept_loop() {
+  while (true) {
+    Socket socket = listener_->accept();
+    if (!socket.valid()) return;  // listener closed: shutting down
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(std::make_unique<Socket>(std::move(socket)));
+    const std::size_t slot = connections_.size() - 1;
+    connection_threads_.emplace_back(&Server::serve_connection, this, slot);
+  }
+}
+
+void Server::serve_connection(std::size_t slot) {
+  Socket& socket = [&]() -> Socket& {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    return *connections_[slot];
+  }();
+  while (true) {
+    // A failure while *receiving* leaves the stream unframed — nothing more
+    // can be parsed, so report (best effort) and hang up. A failure while
+    // parsing a fully received payload leaves the stream aligned at the
+    // next frame: answer ERRR and keep serving, as the protocol promises.
+    std::optional<ParsedFrame> frame;
+    try {
+      frame = recv_frame(socket);
+    } catch (const io::IoError& e) {
+      try {
+        send_frame(socket, encode_error(false, e.what()));
+      } catch (const io::IoError&) {
+      }
+      return;
+    }
+    if (!frame.has_value()) return;  // clean close between frames
+
+    std::string reply;
+    bool stop_after_reply = false;
+    try {
+      if (frame->kind == kFrameHello) {
+        const ServerInfo info = handler_->info();
+        reply = encode_frame(kFrameInfo, [&](io::Writer& w) { write_info(w, info); });
+      } else if (frame->kind == kFrameQuery || frame->kind == kFrameScan) {
+        Request request;
+        request.queries = read_features(*frame->reader);
+        io::detail::require_consumed(*frame->stream, frame->kind);
+        request.scan = frame->kind == kFrameScan;
+        std::future<std::string> result = request.reply.get_future();
+        if (queue_.push(std::move(request))) {
+          {
+            const std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.requests;
+          }
+          reply = result.get();
+        } else {
+          const std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.rejected;
+          reply = encode_error(true, "server at capacity; retry");
+        }
+      } else if (frame->kind == kFrameStop) {
+        reply = encode_frame(kFrameBye);
+        stop_after_reply = true;
+      } else {
+        reply = encode_error(false, "unsupported request kind \"" + frame->kind + "\"");
+      }
+    } catch (const io::IoError& e) {
+      reply = encode_error(false, e.what());
+    } catch (const std::exception& e) {
+      reply = encode_error(false, e.what());
+    }
+
+    try {
+      send_frame(socket, reply);
+    } catch (const io::IoError&) {
+      return;  // peer went away mid-reply
+    }
+    if (stop_after_reply) {
+      request_stop();
+      return;
+    }
+  }
+}
+
+void Server::worker_loop() {
+  while (true) {
+    // Drain everything queued in one wave — requests that arrived while the
+    // previous batch was in flight coalesce here; process_wave re-chunks by
+    // max_batch queries.
+    std::vector<Request> wave = queue_.pop_wave(0);
+    if (wave.empty()) return;  // closed and drained
+    process_wave(std::move(wave));
+  }
+}
+
+void Server::process_wave(std::vector<Request> wave) {
+  std::size_t begin = 0;
+  while (begin < wave.size()) {
+    // One model call per chunk: contiguous requests of the same kind and
+    // feature width, up to max_batch total query rows (a single oversized
+    // request still goes through alone — the model call is the cap's unit).
+    std::size_t end = begin + 1;
+    std::size_t rows = wave[begin].queries.rows();
+    while (end < wave.size() && wave[end].scan == wave[begin].scan &&
+           wave[end].queries.cols() == wave[begin].queries.cols() &&
+           rows + wave[end].queries.rows() <= config_.max_batch) {
+      rows += wave[end].queries.rows();
+      ++end;
+    }
+
+    nn::Matrix batch(rows, wave[begin].queries.cols());
+    std::size_t row = 0;
+    for (std::size_t i = begin; i < end; ++i)
+      for (std::size_t r = 0; r < wave[i].queries.rows(); ++r)
+        batch.set_row(row++, wave[i].queries.row_span(r));
+
+    try {
+      if (wave[begin].scan) {
+        const core::SliceScan scan = handler_->scan(batch);
+        std::size_t offset = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          core::SliceScan part;
+          part.n_queries = wave[i].queries.rows();
+          part.n_class_ids = scan.n_class_ids;
+          part.candidates.assign(
+              scan.candidates.begin() + static_cast<std::ptrdiff_t>(offset),
+              scan.candidates.begin() + static_cast<std::ptrdiff_t>(offset + part.n_queries));
+          part.best.assign(scan.best.begin() +
+                               static_cast<std::ptrdiff_t>(offset * scan.n_class_ids),
+                           scan.best.begin() + static_cast<std::ptrdiff_t>(
+                                                   (offset + part.n_queries) * scan.n_class_ids));
+          offset += part.n_queries;
+          wave[i].reply.set_value(
+              encode_frame(kFrameSlice, [&](io::Writer& w) { write_slice_scan(w, part); }));
+        }
+      } else {
+        const Rankings rankings = handler_->rank(batch);
+        std::size_t offset = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const Rankings part(
+              rankings.begin() + static_cast<std::ptrdiff_t>(offset),
+              rankings.begin() + static_cast<std::ptrdiff_t>(offset + wave[i].queries.rows()));
+          offset += wave[i].queries.rows();
+          wave[i].reply.set_value(
+              encode_frame(kFrameRankings, [&](io::Writer& w) { write_rankings(w, part); }));
+        }
+      }
+    } catch (const std::exception& e) {
+      const std::string error = encode_error(false, e.what());
+      for (std::size_t i = begin; i < end; ++i) wave[i].reply.set_value(error);
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batches;
+      stats_.queries += rows;
+    }
+    begin = end;
+  }
+}
+
+void Server::request_stop() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_requested_ = true;
+  }
+  stop_requested_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_requested_cv_.wait(lock, [&] { return stop_requested_ || stopped_; });
+}
+
+void Server::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  stop_requested_cv_.notify_all();
+
+  if (listener_) listener_->close();  // wakes the blocked accept()
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Unblock every connection thread's recv; in-flight requests still get
+  // their replies because the worker drains the queue before exiting.
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const std::unique_ptr<Socket>& socket : connections_) socket->shutdown_both();
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+
+  queue_.close();
+  if (worker_thread_.joinable()) worker_thread_.join();
+}
+
+ServerStats Server::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace wf::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <mutex>
 #include <optional>
@@ -26,13 +27,30 @@ Overrides& overrides() {
 }
 
 // Positive integer from `name`, clamped to [1, max]; 0 when unset/invalid.
+// A value with a non-numeric suffix ("4x") is rejected as a whole — and
+// warned about, since silently reading it as 4 would misconfigure a
+// long-running process — instead of strtol's stop-at-garbage parse.
 std::size_t parse_count(const char* name, long max) {
   const char* env = std::getenv(name);
   if (env == nullptr) return 0;
   char* end = nullptr;
   const long v = std::strtol(env, &end, 10);
-  if (end == env || v < 1) return 0;
+  if (end == env || *end != '\0') {
+    log_warn() << name << "=\"" << env << "\" is not an integer; falling back to auto";
+    return 0;
+  }
+  if (v < 1) return 0;
   return static_cast<std::size_t>(std::min(v, max));
+}
+
+// "0", "false", "off" and "no" (any case) read as disabled; any other
+// non-empty value enables the flag, so WF_SMOKE=1 keeps working.
+bool parse_flag(const char* env) {
+  if (env == nullptr || env[0] == '\0') return env != nullptr;
+  std::string value(env);
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return value != "0" && value != "false" && value != "off" && value != "no";
 }
 
 }  // namespace
@@ -42,7 +60,7 @@ bool Env::smoke() {
     std::lock_guard<std::mutex> lock(overrides().mutex);
     if (overrides().smoke) return *overrides().smoke;
   }
-  return std::getenv("WF_SMOKE") != nullptr;
+  return parse_flag(std::getenv("WF_SMOKE"));
 }
 
 std::size_t Env::threads() {

@@ -64,15 +64,14 @@ void Table::write_csv(const std::string& path) const {
     std::filesystem::create_directories(p.parent_path(), ec);
   }
   std::ofstream out(path);
-  if (!out) {
-    std::cerr << "wf: could not write " << path << "\n";
-    return;
-  }
+  if (!out) throw std::runtime_error("could not open " + path + " for writing");
   for (std::size_t c = 0; c < columns_.size(); ++c)
     out << escape_csv(columns_[c]) << (c + 1 < columns_.size() ? "," : "\n");
   for (const auto& row : rows_)
     for (std::size_t c = 0; c < row.size(); ++c)
       out << escape_csv(row[c]) << (c + 1 < row.size() ? "," : "\n");
+  out.flush();
+  if (!out) throw std::runtime_error("write failed: " + path);
 }
 
 std::string Table::pct(double fraction, int decimals) {

@@ -24,6 +24,18 @@ int main() {
   unsetenv("WF_SMOKE");
   CHECK(!Env::smoke());
 
+  // Falsy spellings must not enable smoke mode (regression: any set
+  // WF_SMOKE, including WF_SMOKE=0, used to count as true).
+  for (const char* falsy : {"0", "false", "FALSE", "off", "OFF", "no", "No"}) {
+    setenv("WF_SMOKE", falsy, 1);
+    CHECK(!Env::smoke());
+  }
+  for (const char* truthy : {"1", "true", "on", "yes", ""}) {
+    setenv("WF_SMOKE", truthy, 1);
+    CHECK(Env::smoke());
+  }
+  unsetenv("WF_SMOKE");
+
   // Parsing and clamping.
   setenv("WF_THREADS", "3", 1);
   CHECK(Env::threads() == 3);
@@ -32,6 +44,12 @@ int main() {
   setenv("WF_THREADS", "0", 1);
   CHECK(Env::threads() == 0);  // invalid -> unset, caller falls back
   setenv("WF_THREADS", "garbage", 1);
+  CHECK(Env::threads() == 0);
+  // Trailing garbage is rejected too (regression: "4x" used to silently
+  // parse as 4), with a warning naming the variable and an auto fallback.
+  setenv("WF_THREADS", "4x", 1);
+  CHECK(Env::threads() == 0);
+  setenv("WF_THREADS", "12 cores", 1);
   CHECK(Env::threads() == 0);
   unsetenv("WF_THREADS");
 

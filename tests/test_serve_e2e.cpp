@@ -1,0 +1,191 @@
+// End-to-end serving equivalence: a wf serve daemon answering over real
+// loopback sockets must reproduce in-process fingerprint_batch rankings
+// bit-identically — for any request batch size, under concurrent clients
+// (coalesced batches), and through the scatter/gather coordinator at
+// several shard-slice counts. Also: slice-scan + merge equals rank_batch
+// in-process, protocol errors come back as ERRR frames, and STOP shuts
+// the daemon down cleanly.
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "data/build.hpp"
+#include "data/splits.hpp"
+#include "netsim/browser.hpp"
+#include "serve/client.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/server.hpp"
+#include "test_common.hpp"
+
+using namespace wf;
+
+namespace {
+
+bool rankings_equal(const std::vector<std::vector<core::RankedLabel>>& a,
+                    const std::vector<std::vector<core::RankedLabel>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (std::size_t r = 0; r < a[i].size(); ++r) {
+      if (a[i][r].label != b[i][r].label || a[i][r].votes != b[i][r].votes ||
+          a[i][r].distance != b[i][r].distance)
+        return false;
+    }
+  }
+  return true;
+}
+
+nn::Matrix rows_of(const data::Dataset& dataset, std::size_t begin, std::size_t end) {
+  nn::Matrix m(end - begin, dataset.feature_dim());
+  for (std::size_t i = begin; i < end; ++i) m.set_row(i - begin, dataset[i].features);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  // Small world: 10 pages x 10 loads, 7 train / 3 test per class.
+  netsim::WikiSiteConfig site_config;
+  site_config.n_pages = 10;
+  site_config.seed = 33;
+  const netsim::Website site = netsim::make_wiki_site(site_config);
+  const netsim::ServerFarm farm = netsim::ServerFarm::for_wiki();
+  data::DatasetBuildOptions crawl;
+  crawl.samples_per_class = 10;
+  crawl.seed = 91;
+  const data::Dataset dataset = data::build_dataset(site, farm, {}, crawl);
+  const data::SampleSplit split = data::split_samples(dataset, 7, 5);
+  const data::Dataset& test = split.second;
+
+  core::EmbeddingConfig config;
+  config.train_iterations = 120;
+  core::AdaptiveFingerprinter attacker(config, /*knn_k=*/10, /*n_shards=*/3);
+  attacker.train(split.first);
+  const auto expected = attacker.fingerprint_batch(test);
+
+  // --- scan_slice + merge_slice_scans == rank_batch, in process -----------
+  for (const std::size_t slice_count : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    std::vector<core::SliceScan> slices;
+    for (std::size_t slice = 0; slice < slice_count; ++slice)
+      slices.push_back(attacker.scan_slice(test, slice, slice_count));
+    const auto merged = core::merge_slice_scans(
+        attacker.references().id_to_label(), attacker.classifier().k(),
+        attacker.references().size(), slices);
+    CHECK(rankings_equal(expected, merged));
+  }
+
+  // --- single daemon over loopback: any frame batch size ------------------
+  {
+    serve::Server server(std::make_shared<serve::LocalHandler>(attacker.clone()), {});
+    server.start();
+    serve::Client client("127.0.0.1", server.port(), 2000);
+
+    const serve::ServerInfo info = client.hello();
+    CHECK(info.attacker == "adaptive");
+    CHECK(info.n_references == attacker.references().size());
+    CHECK(info.knn_k == attacker.classifier().k());
+    CHECK(info.classes == attacker.target_classes());
+
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{5}, test.size()}) {
+      std::vector<std::vector<core::RankedLabel>> served;
+      for (std::size_t begin = 0; begin < test.size(); begin += batch) {
+        const std::size_t end = std::min(test.size(), begin + batch);
+        serve::Rankings part = client.query(rows_of(test, begin, end));
+        for (auto& ranking : part) served.push_back(std::move(ranking));
+      }
+      CHECK(rankings_equal(expected, served));
+    }
+
+    // Concurrent clients: coalesced into shared model batches, every reply
+    // still belongs to its own request, bit-identically.
+    std::vector<std::thread> clients;
+    std::vector<bool> ok(test.size(), false);
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      clients.emplace_back([&, i] {
+        serve::Client mine("127.0.0.1", server.port(), 2000);
+        const serve::Rankings part = mine.query_until_accepted(rows_of(test, i, i + 1));
+        ok[i] = rankings_equal({expected[i]}, part);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    for (std::size_t i = 0; i < test.size(); ++i) CHECK(ok[i]);
+    CHECK(server.stats().requests >= test.size());
+
+    // Unsupported/garbage frames answer ERRR instead of crashing.
+    {
+      serve::Socket raw = serve::tcp_connect("127.0.0.1", server.port(), 2000);
+      serve::send_frame(raw, serve::encode_frame("XXXX"));
+      const auto reply = serve::recv_frame(raw);
+      CHECK(reply.has_value() && reply->kind == serve::kFrameError);
+      const serve::ErrorReply error = serve::read_error(*reply->reader);
+      CHECK(!error.retryable);
+    }
+
+    // STOP: BYEE reply, then wait() returns and the port closes.
+    client.stop_server();
+    server.wait();
+    server.stop();
+    const serve::ServerStats stats = server.stats();
+    CHECK(stats.queries >= test.size() * 4);  // 3 sweeps + concurrent singles
+    CHECK(stats.batches <= stats.requests);   // coalescing never splits requests
+  }
+
+  // --- scatter/gather: sliced backends behind a coordinator ---------------
+  for (const std::size_t slice_count : {std::size_t{2}, std::size_t{3}}) {
+    std::vector<std::unique_ptr<serve::Server>> backends;
+    std::vector<serve::BackendAddress> addresses;
+    for (std::size_t slice = 0; slice < slice_count; ++slice) {
+      backends.push_back(std::make_unique<serve::Server>(
+          std::make_shared<serve::LocalHandler>(attacker.clone(), slice, slice_count),
+          serve::ServerConfig{}));
+      backends.back()->start();
+      addresses.push_back({"127.0.0.1", backends.back()->port()});
+    }
+    serve::Server coordinator(std::make_shared<serve::CoordinatorHandler>(addresses, 2000),
+                              {});
+    coordinator.start();
+
+    serve::Client client("127.0.0.1", coordinator.port(), 2000);
+    const serve::ServerInfo info = client.hello();
+    CHECK(info.slice_count == 1 && info.n_references == attacker.references().size());
+
+    std::vector<std::vector<core::RankedLabel>> served;
+    for (std::size_t begin = 0; begin < test.size(); begin += 4) {
+      const std::size_t end = std::min(test.size(), begin + 4);
+      serve::Rankings part = client.query(rows_of(test, begin, end));
+      for (auto& ranking : part) served.push_back(std::move(ranking));
+    }
+    CHECK(rankings_equal(expected, served));
+
+    // A coordinator refuses to be someone else's shard slice.
+    bool threw = false;
+    try {
+      client.scan(rows_of(test, 0, 1));
+    } catch (const serve::ServeError& e) {
+      threw = !e.retryable();
+    }
+    CHECK(threw);
+
+    coordinator.stop();
+    for (auto& backend : backends) backend->stop();
+  }
+
+  // --- coordinator handshake validation -----------------------------------
+  {
+    // One backend claiming slice 0/2 cannot stand alone.
+    serve::Server half(std::make_shared<serve::LocalHandler>(attacker.clone(), 0, 2), {});
+    half.start();
+    bool threw = false;
+    try {
+      serve::CoordinatorHandler bad({{"127.0.0.1", half.port()}}, 2000);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    CHECK(threw);
+    half.stop();
+  }
+
+  return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,246 @@
+// The serve wire protocol: frame/section codecs round-trip bit-exactly,
+// and malformed input of every kind — truncated payloads, oversized length
+// prefixes, wrong magic, future format versions, trailing bytes — surfaces
+// as a clean io::IoError, never a crash or a misparse. Plus the bounded
+// RingQueue the daemon batches through: backpressure when full, FIFO wave
+// draining, close semantics.
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/frame.hpp"
+#include "serve/net.hpp"
+#include "serve/queue.hpp"
+#include "test_common.hpp"
+
+namespace {
+
+using namespace wf;
+
+// Frame bytes with the u64 length prefix stripped: the payload that
+// parse_frame consumes.
+std::string payload_of(const std::string& frame_bytes) {
+  CHECK(frame_bytes.size() >= 8);
+  return frame_bytes.substr(8);
+}
+
+template <typename Fn>
+bool raises_io_error(Fn&& fn) {
+  try {
+    fn();
+  } catch (const io::IoError&) {
+    return true;
+  }
+  return false;
+}
+
+void test_roundtrips() {
+  nn::Matrix features(3, 4);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      features(r, c) = static_cast<float>(r * 10.0 - c * 0.25);
+  const std::string query = serve::encode_frame(
+      serve::kFrameQuery, [&](io::Writer& w) { serve::write_features(w, features); });
+  serve::ParsedFrame frame = serve::parse_frame(payload_of(query));
+  CHECK(frame.kind == serve::kFrameQuery);
+  const nn::Matrix back = serve::read_features(*frame.reader);
+  CHECK(back.rows() == 3 && back.cols() == 4);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) CHECK(back(r, c) == features(r, c));
+
+  serve::Rankings rankings(2);
+  rankings[0] = {{7, 3, 1.25}, {9, 0, 2.5}};
+  rankings[1] = {};  // an empty ranking must survive too
+  frame = serve::parse_frame(payload_of(serve::encode_frame(
+      serve::kFrameRankings, [&](io::Writer& w) { serve::write_rankings(w, rankings); })));
+  CHECK(frame.kind == serve::kFrameRankings);
+  const serve::Rankings rankings_back = serve::read_rankings(*frame.reader);
+  CHECK(rankings_back.size() == 2);
+  CHECK(rankings_back[0].size() == 2 && rankings_back[1].empty());
+  CHECK(rankings_back[0][0].label == 7 && rankings_back[0][0].votes == 3 &&
+        rankings_back[0][0].distance == 1.25);
+
+  core::SliceScan scan;
+  scan.n_queries = 2;
+  scan.n_class_ids = 3;
+  scan.candidates = {{{0.5, 42}, {1.5, 7}}, {}};
+  scan.best = {0.5, 1.0, 2.0, 9.0, 8.0, 7.0};
+  frame = serve::parse_frame(payload_of(serve::encode_frame(
+      serve::kFrameSlice, [&](io::Writer& w) { serve::write_slice_scan(w, scan); })));
+  const core::SliceScan scan_back = serve::read_slice_scan(*frame.reader);
+  CHECK(scan_back.n_queries == 2 && scan_back.n_class_ids == 3);
+  CHECK(scan_back.candidates == scan.candidates);
+  CHECK(scan_back.best == scan.best);
+
+  serve::ServerInfo info;
+  info.attacker = "adaptive";
+  info.n_references = 123;
+  info.slice_index = 1;
+  info.slice_count = 3;
+  info.knn_k = 17;
+  info.classes = {100, 200};
+  info.id_to_label = {200, 100};
+  frame = serve::parse_frame(payload_of(
+      serve::encode_frame(serve::kFrameInfo, [&](io::Writer& w) { serve::write_info(w, info); })));
+  const serve::ServerInfo info_back = serve::read_info(*frame.reader);
+  CHECK(info_back.attacker == "adaptive" && info_back.n_references == 123);
+  CHECK(info_back.slice_index == 1 && info_back.slice_count == 3);
+  CHECK(info_back.knn_k == 17 && info_back.classes == info.classes &&
+        info_back.id_to_label == info.id_to_label);
+
+  frame = serve::parse_frame(payload_of(serve::encode_frame(
+      serve::kFrameError, [](io::Writer& w) { serve::write_error(w, {true, "busy"}); })));
+  const serve::ErrorReply error = serve::read_error(*frame.reader);
+  CHECK(error.retryable && error.message == "busy");
+
+  // Body-less kinds parse to just their kind.
+  frame = serve::parse_frame(payload_of(serve::encode_frame(serve::kFrameStop)));
+  CHECK(frame.kind == serve::kFrameStop);
+}
+
+void test_malformed_payloads() {
+  nn::Matrix features(2, 2);
+  const std::string good = payload_of(serve::encode_frame(
+      serve::kFrameQuery, [&](io::Writer& w) { serve::write_features(w, features); }));
+
+  // Wrong magic.
+  std::string bad = good;
+  bad[0] = 'X';
+  CHECK(raises_io_error([&] { serve::parse_frame(bad); }));
+
+  // Future format version (u32 after the 4-byte magic).
+  bad = good;
+  bad[4] = static_cast<char>(0xEE);
+  bad[5] = static_cast<char>(0xFF);
+  CHECK(raises_io_error([&] { serve::parse_frame(bad); }));
+
+  // Truncation at every byte boundary: either the header or the section
+  // parse must throw — never crash, never succeed.
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    const std::string prefix = good.substr(0, cut);
+    CHECK(raises_io_error([&] {
+      serve::ParsedFrame frame = serve::parse_frame(prefix);
+      serve::read_features(*frame.reader);
+    }));
+  }
+
+  // Trailing bytes after the body section are corruption, not padding.
+  bad = good + std::string(3, '\0');
+  {
+    serve::ParsedFrame frame = serve::parse_frame(bad);
+    serve::read_features(*frame.reader);
+    CHECK(raises_io_error(
+        [&] { io::detail::require_consumed(*frame.stream, frame.kind); }));
+  }
+
+  // A slice scan whose best-distance table disagrees with its own counts.
+  core::SliceScan scan;
+  scan.n_queries = 2;
+  scan.n_class_ids = 2;
+  scan.candidates = {{}, {}};
+  scan.best = {1.0, 2.0, 3.0};  // should be 4 entries
+  const std::string lying = payload_of(serve::encode_frame(
+      serve::kFrameSlice, [&](io::Writer& w) { serve::write_slice_scan(w, scan); }));
+  CHECK(raises_io_error([&] {
+    serve::ParsedFrame frame = serve::parse_frame(lying);
+    serve::read_slice_scan(*frame.reader);
+  }));
+}
+
+// The socket layer: oversized length prefixes and mid-frame closes raise
+// IoError on the receiver; a close between frames is a clean nullopt.
+void test_socket_framing() {
+  serve::Listener listener("127.0.0.1", 0);
+
+  const auto with_connection = [&](auto&& sender, auto&& receiver) {
+    std::thread client([&] {
+      serve::Socket sock = serve::tcp_connect("127.0.0.1", listener.port(), 2000);
+      sender(sock);
+    });
+    serve::Socket accepted = listener.accept();
+    CHECK(accepted.valid());
+    receiver(accepted);
+    client.join();
+  };
+
+  // Oversized length prefix: rejected before any allocation.
+  with_connection(
+      [](serve::Socket& sock) {
+        const std::uint64_t huge = serve::kMaxFrameBytes + 1;
+        std::uint8_t prefix[8];
+        for (int i = 0; i < 8; ++i) prefix[i] = static_cast<std::uint8_t>(huge >> (8 * i));
+        sock.send_all(prefix, 8);
+      },
+      [](serve::Socket& sock) {
+        CHECK(raises_io_error([&] { serve::recv_frame(sock); }));
+      });
+
+  // Truncated frame: the peer dies mid-payload.
+  with_connection(
+      [](serve::Socket& sock) {
+        const std::string frame = serve::encode_frame(serve::kFrameHello);
+        sock.send_all(frame.data(), frame.size() - 2);
+        sock.close();
+      },
+      [](serve::Socket& sock) {
+        CHECK(raises_io_error([&] { serve::recv_frame(sock); }));
+      });
+
+  // Clean close at a frame boundary: nullopt, not an error.
+  with_connection(
+      [](serve::Socket& sock) {
+        const std::string frame = serve::encode_frame(serve::kFrameHello);
+        sock.send_all(frame.data(), frame.size());
+        sock.close();
+      },
+      [](serve::Socket& sock) {
+        const auto first = serve::recv_frame(sock);
+        CHECK(first.has_value() && first->kind == serve::kFrameHello);
+        const auto second = serve::recv_frame(sock);
+        CHECK(!second.has_value());
+      });
+}
+
+void test_ring_queue() {
+  serve::RingQueue<int> queue(3);
+  CHECK(queue.capacity() == 3);
+  CHECK(queue.push(1) && queue.push(2) && queue.push(3));
+  CHECK(!queue.push(4));  // full: backpressure, not blocking
+  CHECK(queue.size() == 3);
+
+  // Waves drain in arrival order, bounded by max_items.
+  std::vector<int> wave = queue.pop_wave(2);
+  CHECK(wave.size() == 2 && wave[0] == 1 && wave[1] == 2);
+  CHECK(queue.push(5));  // slot freed
+  wave = queue.pop_wave(0);  // 0 = everything queued
+  CHECK(wave.size() == 2 && wave[0] == 3 && wave[1] == 5);
+
+  // close(): future pushes fail, queued items stay poppable, and the
+  // consumer sees an empty wave once drained.
+  CHECK(queue.push(6));
+  queue.close();
+  CHECK(!queue.push(7));
+  wave = queue.pop_wave(0);
+  CHECK(wave.size() == 1 && wave[0] == 6);
+  CHECK(queue.pop_wave(0).empty());
+
+  // A consumer blocked on an empty queue wakes on push.
+  serve::RingQueue<int> live(4);
+  std::thread consumer([&] {
+    const std::vector<int> got = live.pop_wave(0);
+    CHECK(!got.empty() && got[0] == 42);
+  });
+  live.push(42);
+  consumer.join();
+}
+
+}  // namespace
+
+int main() {
+  test_roundtrips();
+  test_malformed_payloads();
+  test_socket_framing();
+  test_ring_queue();
+  return TEST_MAIN_RESULT();
+}

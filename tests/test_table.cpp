@@ -39,5 +39,19 @@ int main() {
   std::remove(path.c_str());
   CHECK(contents.str() == "A,B\nx,1\n\"y, z\",2\n");
 
+  // An unwritable path must throw (regression: write failures used to be
+  // swallowed, so `wf run` exited 0 with missing CSVs). A path routed
+  // through a regular file is unwritable for any user, root included.
+  const std::string blocker = "test_table_blocker.tmp";
+  std::ofstream(blocker) << "not a directory";
+  threw = false;
+  try {
+    table.write_csv(blocker + "/out.csv");
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  std::remove(blocker.c_str());
+  CHECK(threw);
+
   return TEST_MAIN_RESULT();
 }
