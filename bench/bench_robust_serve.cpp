@@ -1,0 +1,6 @@
+// Thin shim kept for CI and scripts: dispatches through the
+// ExperimentRegistry, so this binary and `wf run robust_serve` emit
+// identical output. The experiment body lives in src/eval/registry.cpp.
+#include "eval/registry.hpp"
+
+int main() { return wf::eval::run_legacy("bench_robust_serve"); }

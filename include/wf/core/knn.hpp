@@ -35,6 +35,10 @@ using Candidate = std::pair<double, std::uint64_t>;
 struct SliceScan {
   std::size_t n_queries = 0;
   std::size_t n_class_ids = 0;
+  // Reference rows this slice's shards hold — the coordinator sums these
+  // over the slices it gathered to decide whether coverage is full or the
+  // answer must be flagged degraded. 0 from pre-extension peers ("unknown").
+  std::uint64_t n_rows_scanned = 0;
   std::vector<std::vector<Candidate>> candidates;  // per query
   std::vector<double> best;                        // n_queries x n_class_ids
 

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "eval/scenario.hpp"
+
+namespace wf::eval {
+
+// Chaos benchmark (`wf run robust_serve`): trains the adaptive attacker
+// once, serves it from a resident daemon, and drives query traffic through
+// a serve::FaultProxy injecting each fault kind at each fault rate. Per
+// configuration it reports availability (requests answered within the
+// bounded retry budget), the classified error mix, request latency
+// (p50/p99 ms) and the number of answered requests whose rankings differ
+// from the attacker's in-process answers. Every kind that cuts or stalls
+// streams must keep that column at 0 — a fault may cost a request, never
+// an answer; only `corrupt` can push it above 0, since a flipped byte
+// inside a section payload is indistinguishable from data on the
+// checksum-less wire. Writes results/robust_serve.csv.
+util::Table run_robust_serve(WikiScenario& scenario);
+
+}  // namespace wf::eval

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/coordinator.hpp"
+#include "serve/net.hpp"
+#include "util/rng.hpp"
+
+namespace wf::serve {
+
+// What the proxy does to a forwarded chunk it selects for a fault.
+enum class FaultKind {
+  none,       // forward everything untouched (the control arm)
+  drop,       // swallow the chunk: the stream desyncs or truncates
+  delay,      // forward after delay_ms: latency spike, no corruption
+  truncate,   // forward half the chunk, then cut both directions
+  corrupt,    // flip bytes, then forward: framed garbage
+  blackhole,  // forward nothing ever again on this direction: a hang
+};
+const char* fault_kind_name(FaultKind kind);
+// Parses the names above; throws std::invalid_argument on anything else.
+FaultKind parse_fault_kind(const std::string& name);
+
+// A seeded fault schedule: each forwarded chunk triggers `kind` with
+// probability `rate`, decided by util::Rng streams forked per connection
+// and direction — the same (plan, connection order) replays the same
+// faults, which is what makes chaos runs debuggable.
+struct FaultPlan {
+  FaultKind kind = FaultKind::none;
+  double rate = 0.0;
+  int delay_ms = 100;
+  std::uint64_t seed = 1;
+};
+
+struct FaultProxyStats {
+  std::uint64_t connections = 0;
+  std::uint64_t chunks = 0;  // chunks read off either side
+  std::uint64_t faults = 0;  // chunks a fault was applied to
+};
+
+// A TCP proxy that sits between a serve client and its server and injects
+// faults per a seeded schedule. It forwards opaque byte chunks — it does
+// not understand frames — so its faults land at arbitrary byte positions,
+// exactly like a misbehaving network.
+class FaultProxy {
+ public:
+  // Listens on host:listen_port (0: ephemeral); each accepted connection
+  // dials `upstream` and pumps bytes both ways until either side closes.
+  FaultProxy(const std::string& host, std::uint16_t listen_port,
+             const BackendAddress& upstream, const FaultPlan& plan);
+  ~FaultProxy();
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+  // Blocks until stop() is called (the `wf proxy` CLI foreground mode).
+  void wait();
+  // Idempotent: closes the listener and every proxied connection, joins all
+  // pump threads.
+  void stop();
+
+  FaultProxyStats stats() const;
+
+ private:
+  struct Connection {
+    Socket client;
+    Socket upstream;
+  };
+
+  void accept_loop();
+  void pump(Connection& connection, bool downstream, util::Rng rng);
+
+  BackendAddress upstream_;
+  FaultPlan plan_;
+  Listener listener_;
+  std::thread accept_thread_;
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::thread> pump_threads_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = false;
+
+  std::atomic<std::uint64_t> n_connections_{0};
+  std::atomic<std::uint64_t> n_chunks_{0};
+  std::atomic<std::uint64_t> n_faults_{0};
+};
+
+}  // namespace wf::serve

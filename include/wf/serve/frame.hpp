@@ -23,12 +23,22 @@ namespace wf::serve {
 //   payload := "WFIO" | u32 version | kind | Section...
 //
 // Request kinds:  HELO (no body), QRYB {FEAT}, SCAN {FEAT}, STOP (no body)
-// Reply kinds:    SNFO {INFO}, RNKB {RANK}, SLCE {PART}, BYEE (no body),
-//                 ERRR {EMSG}
+// Reply kinds:    SNFO {INFO}, RNKB {RANK [DGRD]}, SLCE {PART}, BYEE
+//                 (no body), ERRR {EMSG}
 //
 // Every request gets exactly one reply. Malformed, truncated or oversized
 // frames raise io::IoError — never a crash; a server answers them with an
 // ERRR frame where the stream still permits one.
+//
+// Wire evolution: new fields ride either as trailing bytes inside an
+// existing section (EMSG error class, PART rows-scanned) or as an optional
+// trailing section (RNKB's DGRD degradation marker, present only on
+// degraded replies). Readers treat absent extensions as their defaults, so
+// a v1 peer's frames still parse — and a full-coverage RNKB reply is
+// byte-identical to v1, so pre-extension clients keep parsing every
+// non-degraded reply.
+inline constexpr std::uint32_t kServeWireVersion = 2;
+
 inline constexpr char kFrameHello[] = "HELO";
 inline constexpr char kFrameQuery[] = "QRYB";
 inline constexpr char kFrameScan[] = "SCAN";
@@ -59,9 +69,31 @@ struct ServerInfo {
   std::vector<int> id_to_label;
 };
 
+// How a request failed, beyond retryable/not: retry loops branch on
+// `retryable`, operators and experiment CSVs read the class.
+enum class ErrorClass : std::uint8_t {
+  unknown = 0,      // pre-extension peers, or unclassified server faults
+  protocol = 1,     // malformed/unsupported frame: retrying cannot help
+  backpressure = 2, // queue full: resend after a pause
+  timeout = 3,      // a deadline expired mid-request
+  unavailable = 4,  // backends down / results unobtainable right now
+  shutdown = 5,     // request arrived while the server was draining
+};
+const char* error_class_name(ErrorClass klass);
+
 struct ErrorReply {
-  bool retryable = false;  // true: transient backpressure, resend later
+  bool retryable = false;  // true: transient, resend later (possibly elsewhere)
   std::string message;
+  ErrorClass klass = ErrorClass::unknown;
+};
+
+// Degradation marker of a RNKB reply: appended as a DGRD section only when
+// the coordinator answered from a strict subset of the reference set (the
+// --partial mode), so full-coverage replies stay byte-identical to wire v1.
+struct ReplyMeta {
+  bool degraded = false;
+  std::uint64_t covered_references = 0;  // reference rows the answer scanned
+  std::uint64_t total_references = 0;    // rows a full answer would scan
 };
 
 // A received frame, parsed down to its kind with the Reader positioned at
@@ -82,9 +114,19 @@ std::string encode_frame(const std::string& kind,
 ParsedFrame parse_frame(std::string payload);
 
 // Socket transport. recv_frame returns nullopt on a clean peer close at a
-// frame boundary; throws io::IoError on truncation or an oversized length.
-void send_frame(Socket& socket, const std::string& frame_bytes);
-std::optional<ParsedFrame> recv_frame(Socket& socket);
+// frame boundary; throws io::IoError on truncation or an oversized length,
+// TimeoutError past the deadline.
+void send_frame(Socket& socket, const std::string& frame_bytes, const Deadline& deadline = {});
+std::optional<ParsedFrame> recv_frame(Socket& socket, const Deadline& deadline = {});
+
+// Phase-split receive, for servers that bound the idle wait (for a frame to
+// begin) and the mid-frame wait (for a started frame to finish) separately:
+// an idle timeout closes the connection quietly, a mid-frame one is
+// answered with ERRR(timeout). recv_frame_length returns nullopt on a clean
+// close, the validated payload length otherwise.
+std::optional<std::uint64_t> recv_frame_length(Socket& socket, const Deadline& deadline = {});
+ParsedFrame recv_frame_payload(Socket& socket, std::uint64_t length,
+                               const Deadline& deadline = {});
 
 // Section codecs (each writes/parses exactly one tagged section).
 void write_features(io::Writer& out, const nn::Matrix& features);
@@ -101,5 +143,10 @@ ServerInfo read_info(io::Reader& in);
 
 void write_error(io::Writer& out, const ErrorReply& error);
 ErrorReply read_error(io::Reader& in);
+
+void write_reply_meta(io::Writer& out, const ReplyMeta& meta);
+// Reads the trailing DGRD section if the payload carries one (after the
+// main section was consumed); otherwise returns a non-degraded default.
+ReplyMeta read_trailing_meta(ParsedFrame& frame);
 
 }  // namespace wf::serve

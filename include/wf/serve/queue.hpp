@@ -27,17 +27,24 @@ class RingQueue {
     return count_;
   }
 
-  // False when the ring is full or the queue was closed.
-  bool push(T item) {
+  // Why a push was refused: `full` is transient backpressure (resend after
+  // a pause), `closed` means the server is draining (resend elsewhere).
+  enum class PushOutcome { accepted, full, closed };
+
+  PushOutcome offer(T item) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || count_ == slots_.size()) return false;
+      if (closed_) return PushOutcome::closed;
+      if (count_ == slots_.size()) return PushOutcome::full;
       slots_[(head_ + count_) % slots_.size()] = std::move(item);
       ++count_;
     }
     ready_.notify_one();
-    return true;
+    return PushOutcome::accepted;
   }
+
+  // False when the ring is full or the queue was closed.
+  bool push(T item) { return offer(std::move(item)) == PushOutcome::accepted; }
 
   // Blocks until at least one item is queued (or the queue is closed), then
   // pops up to max_items in arrival order. An empty result means closed AND

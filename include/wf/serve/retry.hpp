@@ -1,0 +1,76 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace wf::serve {
+
+// Bounded retry with exponential backoff and deterministic seeded jitter —
+// the single policy object shared by every retry loop in the serving layer
+// (client resends after backpressure, coordinator scatter retries,
+// tcp_connect's refused-connection loop, background backend reconnects).
+// Jitter flows through util::Rng, so two processes given the same seed and
+// stream retry on identical schedules and a fleet given distinct streams
+// never thunders in lockstep.
+struct RetryPolicy {
+  int max_attempts = 8;        // total tries before giving up (>= 1)
+  int initial_backoff_ms = 2;  // delay after the first failure
+  int max_backoff_ms = 250;    // exponential growth cap
+  double jitter = 0.5;         // delay drawn from [d*(1-j), d*(1+j)]
+  std::uint64_t seed = 0x9f5eULL;
+
+  // Backoff before retry number `failures` (1-based count of failed tries):
+  // min(max, initial * 2^(failures-1)), jittered. Pure given the rng state.
+  int delay_ms(int failures, util::Rng& rng) const {
+    const int base = std::max(initial_backoff_ms, 1);
+    int delay = base;
+    for (int i = 1; i < failures && delay < max_backoff_ms; ++i) delay *= 2;
+    delay = std::min(delay, std::max(max_backoff_ms, base));
+    const double j = std::clamp(jitter, 0.0, 1.0);
+    const double scaled = delay * rng.uniform(1.0 - j, 1.0 + j);
+    return std::max(1, static_cast<int>(scaled));
+  }
+};
+
+// Per-call-site retry state. Usage:
+//
+//   Backoff backoff(policy, stream);
+//   while (true) {
+//     try { return op(); }
+//     catch (const Retryable& e) { if (!backoff.retry()) throw; }
+//   }
+//
+// retry() counts the failure; while attempts remain it sleeps the jittered
+// exponential delay and returns true, otherwise it returns false without
+// sleeping (the caller rethrows). next_delay_ms() exposes the raw schedule
+// for loops that bound themselves by wall clock instead of attempt count
+// (tcp_connect's retry window).
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy, std::uint64_t stream = 0)
+      : policy_(policy), rng_(util::Rng(policy.seed).fork(stream)) {}
+
+  int failures() const { return failures_; }
+
+  // Records a failure and returns the next delay without sleeping or
+  // gating on max_attempts.
+  int next_delay_ms() { return policy_.delay_ms(++failures_, rng_); }
+
+  bool retry() {
+    const int delay = next_delay_ms();
+    if (failures_ >= std::max(policy_.max_attempts, 1)) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    return true;
+  }
+
+ private:
+  RetryPolicy policy_;
+  util::Rng rng_;
+  int failures_ = 0;
+};
+
+}  // namespace wf::serve

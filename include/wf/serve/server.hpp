@@ -20,6 +20,14 @@ class AdaptiveFingerprinter;
 
 namespace wf::serve {
 
+// A rank answer plus its coverage marker. meta.degraded is only ever true
+// for a coordinator answering from a subset of its backends in --partial
+// mode; full-coverage replies omit the marker on the wire entirely.
+struct RankReply {
+  Rankings rankings;
+  ReplyMeta meta;
+};
+
 // What a Server serves. One implementation answers from a loaded model
 // (LocalHandler), the other scatters to remote shard backends and gathers
 // (CoordinatorHandler in coordinator.hpp). rank/scan are called from the
@@ -31,7 +39,7 @@ class Handler {
   virtual ServerInfo info() const = 0;
   // Full rankings for every row of `queries` (batch-composition
   // independent: the same query in any batch yields bit-identical output).
-  virtual Rankings rank(const nn::Matrix& queries) = 0;
+  virtual RankReply rank(const nn::Matrix& queries) = 0;
   // Scatter half for coordinator backends; throws std::runtime_error when
   // the handler cannot slice-scan (baseline attackers, coordinators).
   virtual core::SliceScan scan(const nn::Matrix& queries) = 0;
@@ -46,7 +54,7 @@ class LocalHandler final : public Handler {
                         std::size_t slice_count = 1);
 
   ServerInfo info() const override;
-  Rankings rank(const nn::Matrix& queries) override;
+  RankReply rank(const nn::Matrix& queries) override;
   core::SliceScan scan(const nn::Matrix& queries) override;
 
  private:
@@ -61,6 +69,13 @@ struct ServerConfig {
   std::uint16_t port = 0;            // 0: ephemeral, read back via Server::port()
   std::size_t queue_capacity = 64;   // pending requests before backpressure
   std::size_t max_batch = 1024;      // max queries per model call when coalescing
+  // Bound on one request: finish receiving a started frame, compute and
+  // send the reply. A breach answers ERRR(retryable, timeout). <= 0: never.
+  int request_timeout_ms = 30000;
+  // How long a connection may sit idle between frames before the server
+  // closes it quietly (no unsolicited frame — that would desync the
+  // strictly request/reply stream). <= 0: keep idle connections forever.
+  int idle_timeout_ms = 0;
 };
 
 struct ServerStats {
@@ -68,6 +83,7 @@ struct ServerStats {
   std::uint64_t queries = 0;    // total query rows answered
   std::uint64_t batches = 0;    // model calls (coalescing makes this <= requests)
   std::uint64_t rejected = 0;   // backpressure rejections (queue full)
+  std::uint64_t timeouts = 0;   // requests answered ERRR(timeout)
 };
 
 // The resident daemon: an accept loop, one thread per connection parsing

@@ -32,11 +32,18 @@ class Env {
   // WF_RESULTS_DIR: where experiment CSVs/JSON land; "results" by default.
   static std::string results_dir();
 
+  // WF_SERVE_TIMEOUT_MS: default per-request deadline of the serving layer
+  // (server request timeout and client RPC timeout), clamped to
+  // [1, 3600000]. Returns 0 when unset or unparsable (callers fall back to
+  // their built-in default); the `wf` CLI's --timeout-ms overrides it.
+  static std::size_t serve_timeout_ms();
+
   // CLI overrides: take precedence over the environment until cleared.
   static void override_smoke(bool smoke);
   static void override_threads(std::size_t threads);
   static void override_shards(std::size_t shards);
   static void override_results_dir(std::string dir);
+  static void override_serve_timeout_ms(std::size_t ms);
 
   // One log_info line with the effective settings, emitted at most once per
   // process (every entry point calls it; only the first call prints).

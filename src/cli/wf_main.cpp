@@ -6,6 +6,7 @@
 //   wf eval  --model FILE [flags]            reload and evaluate a saved attacker
 //   wf serve --model FILE [flags]            resident daemon answering query frames
 //   wf query --port P [flags]                evaluate against a running daemon
+//   wf proxy --port P --upstream H:P [flags] fault-injecting TCP proxy (chaos tests)
 //
 // Shared flags: --smoke, --out DIR, --threads N, --shards S,
 // --attacker NAME. The legacy bench_* binaries are thin shims over the
@@ -13,6 +14,7 @@
 // CSVs.
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "io/serialize.hpp"
 #include "serve/client.hpp"
 #include "serve/coordinator.hpp"
+#include "serve/fault.hpp"
 #include "serve/server.hpp"
 #include "util/bench_report.hpp"
 #include "util/env.hpp"
@@ -48,7 +51,27 @@ struct CliOptions {
   bool coordinator = false;
   bool stop = false;
   std::vector<serve::BackendAddress> backends;
+
+  // Fault-tolerance knobs.
+  int timeout_ms = -1;       // -1: WF_SERVE_TIMEOUT_MS, else 30000; 0 disables
+  int idle_timeout_ms = 0;   // server-side idle hangup; 0 keeps connections
+  bool partial = false;      // coordinator: degraded answers from live slices
+  int retries = 8;           // bounded-retry attempts for client/coordinator
+  std::string fault_kind = "none";
+  double fault_rate = 0.0;
+  int fault_delay_ms = 100;
+  long seed = 1;
+  serve::BackendAddress upstream;
+  bool upstream_given = false;
 };
+
+// --timeout-ms wins, then WF_SERVE_TIMEOUT_MS, then the built-in default;
+// an explicit 0 disables the deadline end to end.
+int effective_timeout_ms(const CliOptions& options) {
+  if (options.timeout_ms >= 0) return options.timeout_ms;
+  const std::size_t env = util::Env::serve_timeout_ms();
+  return env > 0 ? static_cast<int>(env) : 30000;
+}
 
 int usage(int code) {
   std::cout <<
@@ -61,6 +84,7 @@ int usage(int code) {
       "  wf eval [flags]             reload --model and evaluate it on the same crawl\n"
       "  wf serve [flags]            daemon: load --model, answer query frames on TCP\n"
       "  wf query [flags]            evaluate the crawl against a running daemon\n"
+      "  wf proxy [flags]            fault-injecting TCP proxy for chaos testing\n"
       "  wf help                     this text\n"
       "\n"
       "serve/query flags:\n"
@@ -73,6 +97,19 @@ int usage(int code) {
       "  --max-batch N      max queries coalesced into one model call (1024)\n"
       "  --batch N          queries per request frame sent by wf query (32)\n"
       "  --stop             wf query: ask the daemon to shut down and exit\n"
+      "  --timeout-ms T     per-request deadline, server and client side\n"
+      "                     (default WF_SERVE_TIMEOUT_MS or 30000; 0 disables)\n"
+      "  --idle-timeout-ms T  serve: hang up connections idle for T ms (0: keep)\n"
+      "  --retries N        bounded-retry attempts for retryable failures (8)\n"
+      "  --partial          coordinator: answer from live slices when backends\n"
+      "                     are down, flagging the reply degraded (default: fail)\n"
+      "\n"
+      "proxy flags (wf proxy --port P --upstream H:P):\n"
+      "  --upstream H:P     where to forward accepted connections\n"
+      "  --fault-kind K     none|drop|delay|truncate|corrupt|blackhole (none)\n"
+      "  --fault-rate R     per-chunk fault probability in [0, 1] (0)\n"
+      "  --fault-delay-ms T delay per faulted chunk for --fault-kind delay (100)\n"
+      "  --seed S           fault schedule seed (1)\n"
       "\n"
       "flags:\n"
       "  --smoke            seconds-scale configuration (same as WF_SMOKE=1)\n"
@@ -217,6 +254,69 @@ bool parse_flags(int argc, char** argv, int first, CliOptions& options) {
       options.coordinator = true;
     } else if (arg == "--stop") {
       options.stop = true;
+    } else if (arg == "--partial") {
+      options.partial = true;
+    } else if (arg == "--timeout-ms" || arg == "--idle-timeout-ms" ||
+               arg == "--fault-delay-ms") {
+      const char* v = value(i, arg.c_str());
+      if (v == nullptr) return false;
+      long parsed = 0;
+      if (!parse_long(v, 0, 3600000, parsed)) {
+        std::cerr << "wf: " << arg << " must be an integer in [0, 3600000]\n";
+        return false;
+      }
+      if (arg == "--timeout-ms") {
+        options.timeout_ms = static_cast<int>(parsed);
+      } else if (arg == "--idle-timeout-ms") {
+        options.idle_timeout_ms = static_cast<int>(parsed);
+      } else {
+        options.fault_delay_ms = static_cast<int>(parsed);
+      }
+    } else if (arg == "--retries") {
+      const char* v = value(i, "--retries");
+      if (v == nullptr) return false;
+      long parsed = 0;
+      if (!parse_long(v, 1, 10000, parsed)) {
+        std::cerr << "wf: --retries must be an integer in [1, 10000]\n";
+        return false;
+      }
+      options.retries = static_cast<int>(parsed);
+    } else if (arg == "--seed") {
+      const char* v = value(i, "--seed");
+      if (v == nullptr) return false;
+      long parsed = 0;
+      if (!parse_long(v, 0, std::numeric_limits<long>::max(), parsed)) {
+        std::cerr << "wf: --seed must be a non-negative integer\n";
+        return false;
+      }
+      options.seed = parsed;
+    } else if (arg == "--fault-kind") {
+      const char* v = value(i, "--fault-kind");
+      if (v == nullptr) return false;
+      options.fault_kind = v;
+    } else if (arg == "--fault-rate") {
+      const char* v = value(i, "--fault-rate");
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const double parsed = std::strtod(v, &end);
+      if (end == v || *end != '\0' || parsed < 0.0 || parsed > 1.0) {
+        std::cerr << "wf: --fault-rate must be a number in [0, 1]\n";
+        return false;
+      }
+      options.fault_rate = parsed;
+    } else if (arg == "--upstream") {
+      const char* v = value(i, "--upstream");
+      if (v == nullptr) return false;
+      const std::string spec = v;
+      const std::size_t colon = spec.rfind(':');
+      long port = 0;
+      if (colon == std::string::npos || colon == 0 ||
+          !parse_long(spec.substr(colon + 1).c_str(), 1, 65535, port)) {
+        std::cerr << "wf: --upstream must be HOST:PORT\n";
+        return false;
+      }
+      options.upstream = {spec.substr(0, colon), static_cast<std::uint16_t>(port)};
+      options.upstream_given = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "wf: unknown flag " << arg << "\n";
       return false;
@@ -390,8 +490,14 @@ int cmd_serve(const CliOptions& options) {
     }
     // Backends may still be binding when the coordinator starts; retry the
     // handshake for a while instead of racing start order.
-    handler = std::make_shared<serve::CoordinatorHandler>(options.backends, 10000);
-    std::cout << "wf serve: coordinating " << options.backends.size() << " backends\n";
+    serve::CoordinatorConfig coordinator_config;
+    coordinator_config.connect_retry_ms = 10000;
+    coordinator_config.timeout_ms = effective_timeout_ms(options);
+    coordinator_config.allow_partial = options.partial;
+    coordinator_config.retry.max_attempts = options.retries;
+    handler = std::make_shared<serve::CoordinatorHandler>(options.backends, coordinator_config);
+    std::cout << "wf serve: coordinating " << options.backends.size() << " backends"
+              << (options.partial ? " (partial answers allowed)" : "") << "\n";
   } else {
     if (options.model.empty()) {
       std::cerr << "wf: serve needs --model FILE (or --coordinator)\n";
@@ -408,6 +514,8 @@ int cmd_serve(const CliOptions& options) {
   config.port = static_cast<std::uint16_t>(options.port);
   config.queue_capacity = options.queue_capacity;
   config.max_batch = options.max_batch;
+  config.request_timeout_ms = effective_timeout_ms(options);
+  config.idle_timeout_ms = options.idle_timeout_ms;
   serve::Server server(std::move(handler), config);
   server.start();
   if (options.slice_count > 1)
@@ -429,7 +537,11 @@ int cmd_query(const CliOptions& options) {
     std::cerr << "wf: query needs --port P (the daemon's listen port)\n";
     return 1;
   }
-  serve::Client client(options.host, static_cast<std::uint16_t>(options.port), 10000);
+  serve::ClientConfig client_config;
+  client_config.connect_retry_ms = 10000;
+  client_config.timeout_ms = effective_timeout_ms(options);
+  client_config.retry.max_attempts = options.retries;
+  serve::Client client(options.host, static_cast<std::uint16_t>(options.port), client_config);
   if (options.stop) {
     client.stop_server();
     std::cout << "wf query: daemon at " << options.host << ":" << options.port
@@ -456,20 +568,52 @@ int cmd_query(const CliOptions& options) {
   const data::Dataset& test = world.split.second;
   std::vector<std::vector<core::RankedLabel>> rankings;
   rankings.reserve(test.size());
+  std::size_t degraded_batches = 0;
   for (std::size_t begin = 0; begin < test.size(); begin += options.query_batch) {
     const std::size_t end = std::min(test.size(), begin + options.query_batch);
     nn::Matrix batch(end - begin, test.feature_dim());
     for (std::size_t i = begin; i < end; ++i) batch.set_row(i - begin, test[i].features);
-    serve::Rankings part = client.query_until_accepted(batch);
+    serve::ReplyMeta meta;
+    serve::Rankings part = client.query_until_accepted(batch, &meta);
+    if (meta.degraded) {
+      ++degraded_batches;
+      util::log_warn() << "degraded reply: only " << meta.covered_references << " of "
+                       << meta.total_references << " references covered";
+    }
     if (part.size() != end - begin)
       throw io::IoError("daemon answered " + std::to_string(part.size()) + " rankings for " +
                         std::to_string(end - begin) + " queries");
     for (std::vector<core::RankedLabel>& ranking : part) rankings.push_back(std::move(ranking));
   }
+  if (degraded_batches > 0)
+    util::log_warn() << degraded_batches
+                     << " batch(es) were answered from partial coverage; the written "
+                        "rankings are NOT comparable to `wf eval`'s";
 
   std::cout << "== held-out evaluation (served by " << options.host << ":" << options.port
             << ") ==\n";
   write_eval_outputs(info.attacker, rankings, world);
+  return 0;
+}
+
+int cmd_proxy(const CliOptions& options) {
+  if (!options.upstream_given) {
+    std::cerr << "wf: proxy needs --upstream HOST:PORT\n";
+    return 1;
+  }
+  serve::FaultPlan plan;
+  plan.kind = serve::parse_fault_kind(options.fault_kind);
+  plan.rate = options.fault_rate;
+  plan.delay_ms = options.fault_delay_ms;
+  plan.seed = static_cast<std::uint64_t>(options.seed);
+  serve::FaultProxy proxy(options.host, static_cast<std::uint16_t>(options.port),
+                          options.upstream, plan);
+  // Scripts wait for this exact line before starting clients; flush it.
+  std::cout << "wf proxy: listening on " << options.host << ":" << proxy.port()
+            << " -> " << options.upstream.host << ":" << options.upstream.port
+            << " (fault " << serve::fault_kind_name(plan.kind) << " @ " << plan.rate << ")"
+            << std::endl;
+  proxy.wait();
   return 0;
 }
 
@@ -490,6 +634,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(options);
     if (command == "serve") return cmd_serve(options);
     if (command == "query") return cmd_query(options);
+    if (command == "proxy") return cmd_proxy(options);
   } catch (const std::exception& e) {
     std::cerr << "wf: " << e.what() << "\n";
     return 1;

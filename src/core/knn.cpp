@@ -223,6 +223,8 @@ SliceScan KnnClassifier::scan_slice(const ReferenceStore& references, const nn::
   out.n_class_ids = references.n_class_ids();
   out.candidates.resize(m);
   out.best.assign(m * out.n_class_ids, 1e300);
+  for (std::size_t s = slice_index; s < references.shard_count(); s += slice_count)
+    out.n_rows_scanned += references.shard_view(s).rows;
   if (m == 0 || n == 0) return out;
   if (queries.cols() != references.dim())
     throw std::invalid_argument("KnnClassifier::scan_slice: query width mismatch");

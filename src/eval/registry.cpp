@@ -11,6 +11,7 @@
 #include "eval/exp_crosssite.hpp"
 #include "eval/exp_distinguish.hpp"
 #include "eval/exp_padding.hpp"
+#include "eval/exp_robust.hpp"
 #include "eval/exp_serve.hpp"
 #include "eval/exp_static.hpp"
 #include "eval/exp_transfer.hpp"
@@ -226,6 +227,27 @@ int run_perf_serve(const AttackerFactory&) {
   return 0;
 }
 
+// Chaos benchmark (beyond the paper): the serving path driven through a
+// fault-injecting proxy, per fault kind x fault rate — availability within
+// a bounded retry budget, the classified error mix, p50/p99 latency, and a
+// hard integrity check (answered requests must match the in-process
+// rankings bit-identically; the Mismatches column must read 0).
+//
+// Expected shape: `none` and `delay` stay at 100% availability (delay only
+// moves the percentiles); drop/truncate/corrupt/blackhole cost availability
+// roughly with rate, blackhole surfacing as timeouts and corrupt mostly as
+// protocol errors — and no fault kind ever corrupts an answered ranking.
+int run_robust(const AttackerFactory&) {
+  util::BenchReport report("robust_serve");
+  WikiScenario scenario;
+  std::cout << "== robust_serve: availability/error classes under injected faults ==\n";
+  const util::Table table = run_robust_serve(scenario);
+  table.print();
+  std::cout << "CSV written to " << results_dir() << "/robust_serve.csv\n";
+  report_rows(report, static_cast<double>(table.n_rows()));
+  return 0;
+}
+
 // Design-choice ablations over the adaptive attacker's internals plus the
 // §VI-C open world (see exp_ablation.cpp).
 int run_ablation(const AttackerFactory&) {
@@ -271,6 +293,8 @@ const std::vector<Experiment>& experiments() {
       {"perf_serve", "bench_perf_serve",
        "wf serve daemon q/s + p50/p99 latency vs batch size x shard count", false,
        run_perf_serve},
+      {"robust_serve", "bench_robust_serve",
+       "serving availability + error classes + p99 under injected faults", false, run_robust},
   };
   return registry;
 }

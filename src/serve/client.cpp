@@ -1,25 +1,65 @@
 #include "serve/client.hpp"
 
-#include <chrono>
-#include <thread>
-
 namespace wf::serve {
 
+namespace {
+
+ClientConfig legacy_config(int retry_ms) {
+  ClientConfig config;
+  config.connect_retry_ms = retry_ms;
+  return config;
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port, const ClientConfig& config)
+    : host_(host), port_(port), config_(config) {
+  ConnectOptions options;
+  options.retry_ms = config_.connect_retry_ms;
+  options.connect_timeout_ms = config_.connect_timeout_ms;
+  socket_ = tcp_connect(host_, port_, options);
+}
+
 Client::Client(const std::string& host, std::uint16_t port, int retry_ms)
-    : socket_(tcp_connect(host, port, retry_ms)) {}
+    : Client(host, port, legacy_config(retry_ms)) {}
+
+void Client::ensure_connected() {
+  if (socket_.valid()) return;
+  // Reconnects use a single bounded attempt — the long connect_retry_ms
+  // window is for racing the daemon's startup bind, not for stalling every
+  // RPC retry against a dead peer.
+  ConnectOptions options;
+  options.connect_timeout_ms = config_.connect_timeout_ms;
+  socket_ = tcp_connect(host_, port_, options);
+}
 
 ParsedFrame Client::roundtrip(const std::string& frame_bytes,
                               const std::string& expected_kind) {
-  send_frame(socket_, frame_bytes);
-  std::optional<ParsedFrame> reply = recv_frame(socket_);
-  if (!reply.has_value()) throw io::IoError("server closed the connection mid-request");
+  ensure_connected();
+  const Deadline deadline = Deadline::after_ms(config_.timeout_ms);
+  std::optional<ParsedFrame> reply;
+  try {
+    send_frame(socket_, frame_bytes, deadline);
+    reply = recv_frame(socket_, deadline);
+  } catch (const io::IoError&) {
+    // The stream is desynced (or dead): drop it so the next call — possibly
+    // a bounded retry — starts from a fresh connection.
+    socket_.close();
+    throw;
+  }
+  if (!reply.has_value()) {
+    socket_.close();
+    throw io::IoError("server closed the connection mid-request");
+  }
   if (reply->kind == kFrameError) {
     const ErrorReply error = read_error(*reply->reader);
-    throw ServeError(error.retryable, error.message);
+    throw ServeError(error.retryable, error.message, error.klass);
   }
-  if (reply->kind != expected_kind)
+  if (reply->kind != expected_kind) {
+    socket_.close();
     throw io::IoError("unexpected reply kind \"" + reply->kind + "\" (wanted \"" +
                       expected_kind + "\")");
+  }
   return std::move(*reply);
 }
 
@@ -30,11 +70,15 @@ ServerInfo Client::hello() {
   return info;
 }
 
-Rankings Client::query(const nn::Matrix& features) {
+Rankings Client::query(const nn::Matrix& features, ReplyMeta* meta) {
   ParsedFrame reply = roundtrip(
       encode_frame(kFrameQuery, [&](io::Writer& w) { write_features(w, features); }),
       kFrameRankings);
   Rankings rankings = read_rankings(*reply.reader);
+  // Consume the optional DGRD trailer even when the caller does not ask for
+  // it: trailing bytes would otherwise fail require_consumed below.
+  const ReplyMeta parsed = read_trailing_meta(reply);
+  if (meta) *meta = parsed;
   io::detail::require_consumed(*reply.stream, reply.kind);
   return rankings;
 }
@@ -48,13 +92,17 @@ core::SliceScan Client::scan(const nn::Matrix& features) {
   return scan;
 }
 
-Rankings Client::query_until_accepted(const nn::Matrix& features) {
+Rankings Client::query_until_accepted(const nn::Matrix& features, ReplyMeta* meta) {
+  Backoff backoff(config_.retry);
   while (true) {
     try {
-      return query(features);
+      return query(features, meta);
     } catch (const ServeError& e) {
-      if (!e.retryable()) throw;
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (!e.retryable() || !backoff.retry()) throw;
+    } catch (const io::IoError&) {
+      // Timeout or broken transport: roundtrip() already dropped the
+      // connection; the next attempt reconnects.
+      if (!backoff.retry()) throw;
     }
   }
 }

@@ -14,7 +14,25 @@ std::uint64_t checked(std::uint64_t n, std::uint64_t max, const char* what) {
   return n;
 }
 
+// True when the section payload reader has unread bytes — how tolerant
+// readers detect the presence of a trailing wire-v2 extension field.
+bool has_more(io::Reader& r) {
+  return r.stream().peek() != std::istream::traits_type::eof();
+}
+
 }  // namespace
+
+const char* error_class_name(ErrorClass klass) {
+  switch (klass) {
+    case ErrorClass::protocol: return "protocol";
+    case ErrorClass::backpressure: return "backpressure";
+    case ErrorClass::timeout: return "timeout";
+    case ErrorClass::unavailable: return "unavailable";
+    case ErrorClass::shutdown: return "shutdown";
+    case ErrorClass::unknown: break;
+  }
+  return "unknown";
+}
 
 std::string encode_frame(const std::string& kind,
                          const std::function<void(io::Writer&)>& body) {
@@ -40,20 +58,30 @@ ParsedFrame parse_frame(std::string payload) {
   return frame;
 }
 
-void send_frame(Socket& socket, const std::string& frame_bytes) {
-  socket.send_all(frame_bytes.data(), frame_bytes.size());
+void send_frame(Socket& socket, const std::string& frame_bytes, const Deadline& deadline) {
+  socket.send_all(frame_bytes.data(), frame_bytes.size(), deadline);
 }
 
-std::optional<ParsedFrame> recv_frame(Socket& socket) {
+std::optional<std::uint64_t> recv_frame_length(Socket& socket, const Deadline& deadline) {
   std::uint8_t prefix[8];
-  if (!socket.recv_exact(prefix, 8)) return std::nullopt;
+  if (!socket.recv_exact(prefix, 8, deadline)) return std::nullopt;
   std::uint64_t length = 0;
   for (int i = 0; i < 8; ++i) length |= static_cast<std::uint64_t>(prefix[i]) << (8 * i);
   if (length > kMaxFrameBytes) throw io::IoError("oversized frame length");
+  return length;
+}
+
+ParsedFrame recv_frame_payload(Socket& socket, std::uint64_t length, const Deadline& deadline) {
   std::string payload(length, '\0');
-  if (length > 0 && !socket.recv_exact(payload.data(), length))
+  if (length > 0 && !socket.recv_exact(payload.data(), length, deadline))
     throw io::IoError("unexpected end of stream");
   return parse_frame(std::move(payload));
+}
+
+std::optional<ParsedFrame> recv_frame(Socket& socket, const Deadline& deadline) {
+  const std::optional<std::uint64_t> length = recv_frame_length(socket, deadline);
+  if (!length) return std::nullopt;
+  return recv_frame_payload(socket, *length, deadline);
 }
 
 void write_features(io::Writer& out, const nn::Matrix& features) {
@@ -105,6 +133,9 @@ void write_slice_scan(io::Writer& out, const core::SliceScan& scan) {
       }
     }
     w.f64_vec(scan.best);
+    // Wire v2 extension: how many reference rows this slice actually
+    // scanned, for the coordinator's coverage accounting.
+    w.u64(scan.n_rows_scanned);
   });
 }
 
@@ -124,6 +155,8 @@ core::SliceScan read_slice_scan(io::Reader& in) {
     scan.best = r.f64_vec();
     if (scan.best.size() != scan.n_queries * scan.n_class_ids)
       throw io::IoError("slice scan best-distance table has the wrong shape");
+    // Absent from v1 peers: default to 0 ("unknown"), never an error.
+    if (has_more(r)) scan.n_rows_scanned = r.u64();
     return scan;
   });
 }
@@ -160,6 +193,8 @@ void write_error(io::Writer& out, const ErrorReply& error) {
   io::write_section(out, "EMSG", [&](io::Writer& w) {
     w.u8(error.retryable ? 1 : 0);
     w.str(error.message);
+    // Wire v2 extension: the error class, for retry loops and reporting.
+    w.u8(static_cast<std::uint8_t>(error.klass));
   });
 }
 
@@ -168,8 +203,38 @@ ErrorReply read_error(io::Reader& in) {
     ErrorReply error;
     error.retryable = r.u8() != 0;
     error.message = r.str();
+    // Absent from v1 peers; out-of-range values (a future class this build
+    // does not know) degrade to unknown rather than failing the parse.
+    if (has_more(r)) {
+      const std::uint8_t klass = r.u8();
+      error.klass = klass <= static_cast<std::uint8_t>(ErrorClass::shutdown)
+                        ? static_cast<ErrorClass>(klass)
+                        : ErrorClass::unknown;
+    }
     return error;
   });
+}
+
+void write_reply_meta(io::Writer& out, const ReplyMeta& meta) {
+  io::write_section(out, "DGRD", [&](io::Writer& w) {
+    w.u8(meta.degraded ? 1 : 0);
+    w.u64(meta.covered_references);
+    w.u64(meta.total_references);
+  });
+}
+
+ReplyMeta read_trailing_meta(ParsedFrame& frame) {
+  ReplyMeta meta;
+  if (frame.reader && has_more(*frame.reader)) {
+    meta = io::parse_section(*frame.reader, "DGRD", [](io::Reader& r) {
+      ReplyMeta m;
+      m.degraded = r.u8() != 0;
+      m.covered_references = r.u64();
+      m.total_references = r.u64();
+      return m;
+    });
+  }
+  return meta;
 }
 
 }  // namespace wf::serve

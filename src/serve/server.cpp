@@ -1,11 +1,13 @@
 #include "serve/server.hpp"
 
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <utility>
 
 #include "core/adaptive.hpp"
 #include "data/dataset.hpp"
+#include "serve/client.hpp"
 
 namespace wf::serve {
 
@@ -22,9 +24,10 @@ data::Dataset matrix_to_dataset(const nn::Matrix& m) {
   return dataset;
 }
 
-std::string encode_error(bool retryable, const std::string& message) {
+std::string encode_error(bool retryable, const std::string& message,
+                         ErrorClass klass = ErrorClass::unknown) {
   return encode_frame(kFrameError,
-                      [&](io::Writer& w) { write_error(w, {retryable, message}); });
+                      [&](io::Writer& w) { write_error(w, {retryable, message, klass}); });
 }
 
 }  // namespace
@@ -57,8 +60,12 @@ ServerInfo LocalHandler::info() const {
   return info;
 }
 
-Rankings LocalHandler::rank(const nn::Matrix& queries) {
-  return attacker_->fingerprint_batch(matrix_to_dataset(queries));
+RankReply LocalHandler::rank(const nn::Matrix& queries) {
+  RankReply reply;
+  reply.rankings = attacker_->fingerprint_batch(matrix_to_dataset(queries));
+  const std::uint64_t refs = adaptive_ != nullptr ? adaptive_->references().size() : 0;
+  reply.meta = {false, refs, refs};
+  return reply;
 }
 
 core::SliceScan LocalHandler::scan(const nn::Matrix& queries) {
@@ -101,24 +108,54 @@ void Server::serve_connection(std::size_t slot) {
     return *connections_[slot];
   }();
   while (true) {
-    // A failure while *receiving* leaves the stream unframed — nothing more
-    // can be parsed, so report (best effort) and hang up. A failure while
-    // parsing a fully received payload leaves the stream aligned at the
-    // next frame: answer ERRR and keep serving, as the protocol promises.
-    std::optional<ParsedFrame> frame;
+    // Phase 1: wait for a frame to begin, bounded by the idle timeout. An
+    // idle breach closes the connection quietly — sending an unsolicited
+    // ERRR would desync the strictly request/reply stream.
+    std::optional<std::uint64_t> length;
     try {
-      frame = recv_frame(socket);
+      length = recv_frame_length(socket, Deadline::after_ms(config_.idle_timeout_ms));
+    } catch (const TimeoutError&) {
+      return;  // idle for too long: hang up between frames
     } catch (const io::IoError& e) {
+      // Unframed garbage (oversized length, mid-prefix EOF): nothing more
+      // can be parsed, so report (best effort) and hang up.
       try {
-        send_frame(socket, encode_error(false, e.what()));
+        send_frame(socket, encode_error(false, e.what(), ErrorClass::protocol));
       } catch (const io::IoError&) {
       }
       return;
     }
-    if (!frame.has_value()) return;  // clean close between frames
+    if (!length.has_value()) return;  // clean close between frames
+
+    // Phase 2: a frame has begun — the request deadline now bounds
+    // receiving its payload, computing and sending the reply. A breach is a
+    // classified, retryable timeout (the stream may be desynced, so the
+    // connection closes after the ERRR).
+    const Deadline deadline = Deadline::after_ms(config_.request_timeout_ms);
+    std::optional<ParsedFrame> frame;
+    try {
+      frame = recv_frame_payload(socket, *length, deadline);
+    } catch (const TimeoutError& e) {
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.timeouts;
+      }
+      try {
+        send_frame(socket, encode_error(true, e.what(), ErrorClass::timeout));
+      } catch (const io::IoError&) {
+      }
+      return;
+    } catch (const io::IoError& e) {
+      try {
+        send_frame(socket, encode_error(false, e.what(), ErrorClass::protocol));
+      } catch (const io::IoError&) {
+      }
+      return;
+    }
 
     std::string reply;
     bool stop_after_reply = false;
+    bool hangup_after_reply = false;
     try {
       if (frame->kind == kFrameHello) {
         const ServerInfo info = handler_->info();
@@ -129,38 +166,66 @@ void Server::serve_connection(std::size_t slot) {
         io::detail::require_consumed(*frame->stream, frame->kind);
         request.scan = frame->kind == kFrameScan;
         std::future<std::string> result = request.reply.get_future();
-        if (queue_.push(std::move(request))) {
-          {
-            const std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.requests;
+        switch (queue_.offer(std::move(request))) {
+          case RingQueue<Request>::PushOutcome::accepted: {
+            {
+              const std::lock_guard<std::mutex> lock(stats_mutex_);
+              ++stats_.requests;
+            }
+            // The request deadline also covers the queue wait + model call.
+            // On a breach the late reply is abandoned (the worker fulfills
+            // the promise into a dropped future) and the client gets a
+            // retryable timeout instead of a wedged connection.
+            if (deadline.finite() &&
+                result.wait_for(std::chrono::milliseconds(deadline.poll_timeout_ms())) !=
+                    std::future_status::ready) {
+              const std::lock_guard<std::mutex> lock(stats_mutex_);
+              ++stats_.timeouts;
+              reply = encode_error(true, "request timed out in the server queue",
+                                   ErrorClass::timeout);
+            } else {
+              reply = result.get();
+            }
+            break;
           }
-          reply = result.get();
-        } else {
-          const std::lock_guard<std::mutex> lock(stats_mutex_);
-          ++stats_.rejected;
-          reply = encode_error(true, "server at capacity; retry");
+          case RingQueue<Request>::PushOutcome::full: {
+            const std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.rejected;
+            reply = encode_error(true, "server at capacity; retry", ErrorClass::backpressure);
+            break;
+          }
+          case RingQueue<Request>::PushOutcome::closed: {
+            // Mid-shutdown requests get an explicit retryable ERRR instead
+            // of a dropped connection; the stream then closes.
+            reply = encode_error(true, "server is shutting down; retry elsewhere",
+                                 ErrorClass::shutdown);
+            hangup_after_reply = true;
+            break;
+          }
         }
       } else if (frame->kind == kFrameStop) {
         reply = encode_frame(kFrameBye);
         stop_after_reply = true;
       } else {
-        reply = encode_error(false, "unsupported request kind \"" + frame->kind + "\"");
+        reply = encode_error(false, "unsupported request kind \"" + frame->kind + "\"",
+                             ErrorClass::protocol);
       }
     } catch (const io::IoError& e) {
-      reply = encode_error(false, e.what());
+      reply = encode_error(false, e.what(), ErrorClass::protocol);
     } catch (const std::exception& e) {
       reply = encode_error(false, e.what());
     }
 
     try {
-      send_frame(socket, reply);
+      send_frame(socket, reply, deadline);
     } catch (const io::IoError&) {
-      return;  // peer went away mid-reply
+      return;  // peer went away (or stopped draining) mid-reply
     }
     if (stop_after_reply) {
       request_stop();
       return;
     }
+    if (hangup_after_reply) return;
   }
 }
 
@@ -204,6 +269,7 @@ void Server::process_wave(std::vector<Request> wave) {
           core::SliceScan part;
           part.n_queries = wave[i].queries.rows();
           part.n_class_ids = scan.n_class_ids;
+          part.n_rows_scanned = scan.n_rows_scanned;
           part.candidates.assign(
               scan.candidates.begin() + static_cast<std::ptrdiff_t>(offset),
               scan.candidates.begin() + static_cast<std::ptrdiff_t>(offset + part.n_queries));
@@ -216,17 +282,27 @@ void Server::process_wave(std::vector<Request> wave) {
               encode_frame(kFrameSlice, [&](io::Writer& w) { write_slice_scan(w, part); }));
         }
       } else {
-        const Rankings rankings = handler_->rank(batch);
+        const RankReply ranked = handler_->rank(batch);
         std::size_t offset = 0;
         for (std::size_t i = begin; i < end; ++i) {
           const Rankings part(
-              rankings.begin() + static_cast<std::ptrdiff_t>(offset),
-              rankings.begin() + static_cast<std::ptrdiff_t>(offset + wave[i].queries.rows()));
+              ranked.rankings.begin() + static_cast<std::ptrdiff_t>(offset),
+              ranked.rankings.begin() +
+                  static_cast<std::ptrdiff_t>(offset + wave[i].queries.rows()));
           offset += wave[i].queries.rows();
-          wave[i].reply.set_value(
-              encode_frame(kFrameRankings, [&](io::Writer& w) { write_rankings(w, part); }));
+          // The DGRD trailer rides only on degraded replies, keeping
+          // full-coverage frames byte-identical to the v1 wire.
+          wave[i].reply.set_value(encode_frame(kFrameRankings, [&](io::Writer& w) {
+            write_rankings(w, part);
+            if (ranked.meta.degraded) write_reply_meta(w, ranked.meta);
+          }));
         }
       }
+    } catch (const ServeError& e) {
+      // A coordinator handler's classified failure (all backends down, …):
+      // forward class and retryability to every request of the chunk.
+      const std::string error = encode_error(e.retryable(), e.what(), e.klass());
+      for (std::size_t i = begin; i < end; ++i) wave[i].reply.set_value(error);
     } catch (const std::exception& e) {
       const std::string error = encode_error(false, e.what());
       for (std::size_t i = begin; i < end; ++i) wave[i].reply.set_value(error);
@@ -263,22 +339,36 @@ void Server::stop() {
   }
   stop_requested_cv_.notify_all();
 
+  // Graceful drain, in dependency order:
+  //   1. Stop accepting new connections.
+  //   2. Close the queue — requests arriving from here on are answered
+  //      ERRR(retryable, shutdown) instead of being dropped — and let the
+  //      worker finish every request already accepted (each promise is
+  //      fulfilled before the worker exits).
+  //   3. Only then half-close the connections: shutdown_read() wakes
+  //      threads blocked waiting for the next request while leaving the
+  //      write side intact, so every in-flight reply still reaches its
+  //      client before the connection threads exit.
   if (listener_) listener_->close();  // wakes the blocked accept()
   if (accept_thread_.joinable()) accept_thread_.join();
 
-  // Unblock every connection thread's recv; in-flight requests still get
-  // their replies because the worker drains the queue before exiting.
+  queue_.close();
+  if (worker_thread_.joinable()) worker_thread_.join();
+
   std::vector<std::thread> threads;
   {
     const std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (const std::unique_ptr<Socket>& socket : connections_) socket->shutdown_both();
+    for (const std::unique_ptr<Socket>& socket : connections_) socket->shutdown_read();
     threads.swap(connection_threads_);
   }
   for (std::thread& t : threads)
     if (t.joinable()) t.join();
-
-  queue_.close();
-  if (worker_thread_.joinable()) worker_thread_.join();
+  {
+    // Fully close the drained connections so peers observe EOF right away
+    // instead of timing out against a half-open socket.
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.clear();
+  }
 }
 
 ServerStats Server::stats() const {

@@ -18,6 +18,7 @@ struct Overrides {
   std::optional<std::size_t> threads;
   std::optional<std::size_t> shards;
   std::optional<std::string> results_dir;
+  std::optional<std::size_t> serve_timeout_ms;
   std::mutex mutex;
 };
 
@@ -86,6 +87,19 @@ std::string Env::results_dir() {
   }
   const char* env = std::getenv("WF_RESULTS_DIR");
   return (env != nullptr && env[0] != '\0') ? env : "results";
+}
+
+std::size_t Env::serve_timeout_ms() {
+  {
+    std::lock_guard<std::mutex> lock(overrides().mutex);
+    if (overrides().serve_timeout_ms) return *overrides().serve_timeout_ms;
+  }
+  return parse_count("WF_SERVE_TIMEOUT_MS", 3600000);
+}
+
+void Env::override_serve_timeout_ms(std::size_t ms) {
+  std::lock_guard<std::mutex> lock(overrides().mutex);
+  overrides().serve_timeout_ms = ms;
 }
 
 void Env::override_smoke(bool smoke) {

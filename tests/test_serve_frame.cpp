@@ -99,6 +99,90 @@ void test_roundtrips() {
   CHECK(frame.kind == serve::kFrameStop);
 }
 
+// The wire-v2 extensions (error class, slice coverage, DGRD degradation
+// marker) ride as trailing bytes that v1 frames simply lack: both formats
+// must parse, and absent extensions read as their defaults.
+void test_wire_v2_extensions() {
+  // Error class round-trips.
+  serve::ParsedFrame frame = serve::parse_frame(payload_of(serve::encode_frame(
+      serve::kFrameError, [](io::Writer& w) {
+        serve::write_error(w, {true, "busy", serve::ErrorClass::backpressure});
+      })));
+  serve::ErrorReply error = serve::read_error(*frame.reader);
+  CHECK(error.retryable && error.message == "busy" &&
+        error.klass == serve::ErrorClass::backpressure);
+
+  // A v1 peer's EMSG carries no class byte: parses as unknown.
+  frame = serve::parse_frame(payload_of(serve::encode_frame(
+      serve::kFrameError, [](io::Writer& w) {
+        io::write_section(w, "EMSG", [](io::Writer& s) {
+          s.u8(1);
+          s.str("old peer");
+        });
+      })));
+  error = serve::read_error(*frame.reader);
+  CHECK(error.retryable && error.message == "old peer" &&
+        error.klass == serve::ErrorClass::unknown);
+
+  // A class byte from the future degrades to unknown, not a parse error.
+  frame = serve::parse_frame(payload_of(serve::encode_frame(
+      serve::kFrameError, [](io::Writer& w) {
+        io::write_section(w, "EMSG", [](io::Writer& s) {
+          s.u8(0);
+          s.str("novel failure");
+          s.u8(200);
+        });
+      })));
+  error = serve::read_error(*frame.reader);
+  CHECK(!error.retryable && error.klass == serve::ErrorClass::unknown);
+
+  // Slice coverage round-trips; a v1 PART section (no trailing row count)
+  // reads as 0 ("unknown").
+  core::SliceScan scan;
+  scan.n_queries = 1;
+  scan.n_class_ids = 1;
+  scan.candidates = {{{0.5, 3}}};
+  scan.best = {0.5};
+  scan.n_rows_scanned = 77;
+  frame = serve::parse_frame(payload_of(serve::encode_frame(
+      serve::kFrameSlice, [&](io::Writer& w) { serve::write_slice_scan(w, scan); })));
+  CHECK(serve::read_slice_scan(*frame.reader).n_rows_scanned == 77);
+  frame = serve::parse_frame(payload_of(serve::encode_frame(
+      serve::kFrameSlice, [&](io::Writer& w) {
+        io::write_section(w, "PART", [&](io::Writer& s) {
+          s.u64(scan.n_queries);
+          s.u64(scan.n_class_ids);
+          s.u64(1);  // one candidate for the one query
+          s.f64(0.5);
+          s.u64(3);
+          s.f64_vec(scan.best);
+        });
+      })));
+  const core::SliceScan v1_scan = serve::read_slice_scan(*frame.reader);
+  CHECK(v1_scan.candidates == scan.candidates && v1_scan.n_rows_scanned == 0);
+
+  // The DGRD trailer: absent means not degraded (and the payload is still
+  // fully consumed); present round-trips its coverage counts.
+  serve::Rankings rankings(1);
+  rankings[0] = {{7, 3, 1.25}};
+  frame = serve::parse_frame(payload_of(serve::encode_frame(
+      serve::kFrameRankings, [&](io::Writer& w) { serve::write_rankings(w, rankings); })));
+  CHECK(serve::read_rankings(*frame.reader).size() == 1);
+  serve::ReplyMeta meta = serve::read_trailing_meta(frame);
+  CHECK(!meta.degraded && meta.covered_references == 0 && meta.total_references == 0);
+  io::detail::require_consumed(*frame.stream, frame.kind);
+
+  frame = serve::parse_frame(payload_of(serve::encode_frame(
+      serve::kFrameRankings, [&](io::Writer& w) {
+        serve::write_rankings(w, rankings);
+        serve::write_reply_meta(w, {true, 10, 30});
+      })));
+  CHECK(serve::read_rankings(*frame.reader).size() == 1);
+  meta = serve::read_trailing_meta(frame);
+  CHECK(meta.degraded && meta.covered_references == 10 && meta.total_references == 30);
+  io::detail::require_consumed(*frame.stream, frame.kind);
+}
+
 void test_malformed_payloads() {
   nn::Matrix features(2, 2);
   const std::string good = payload_of(serve::encode_frame(
@@ -239,6 +323,7 @@ void test_ring_queue() {
 
 int main() {
   test_roundtrips();
+  test_wire_v2_extensions();
   test_malformed_payloads();
   test_socket_framing();
   test_ring_queue();

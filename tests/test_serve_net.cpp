@@ -1,0 +1,205 @@
+// The deadline-aware socket layer under adverse delivery: frames split
+// across arbitrarily many sends still parse, a disconnect at every byte
+// boundary classifies as clean close vs truncation (never a timeout), a
+// silent peer surfaces as TimeoutError at the deadline, tcp_connect names
+// its attempt count on failure, and the RingQueue distinguishes
+// backpressure from shutdown when it refuses a push.
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/frame.hpp"
+#include "serve/net.hpp"
+#include "serve/queue.hpp"
+#include "test_common.hpp"
+
+namespace {
+
+using namespace wf;
+
+void test_deadline() {
+  const serve::Deadline never;
+  CHECK(!never.finite() && !never.expired());
+  CHECK(never.poll_timeout_ms() == -1);
+  // <= 0 means "never", so a config value of 0 disables timeouts end to end.
+  CHECK(!serve::Deadline::after_ms(0).finite());
+  CHECK(!serve::Deadline::after_ms(-5).finite());
+
+  const serve::Deadline soon = serve::Deadline::after_ms(1);
+  CHECK(soon.finite());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  CHECK(soon.expired());
+  CHECK(soon.poll_timeout_ms() == 0);
+
+  const serve::Deadline later = serve::Deadline::after_ms(60000);
+  CHECK(!later.expired());
+  CHECK(serve::Deadline::sooner(later, never).finite());
+  CHECK(!serve::Deadline::sooner(never, never).finite());
+  CHECK(serve::Deadline::sooner(soon, later).expired());
+}
+
+// A frame is one logical unit but TCP owes it no delivery shape: the
+// receiver must reassemble it from any split across sends.
+void test_split_delivery() {
+  serve::Listener listener("127.0.0.1", 0);
+  const std::string frame = serve::encode_frame(serve::kFrameHello);
+  std::thread sender([&] {
+    serve::Socket sock = serve::tcp_connect("127.0.0.1", listener.port(), 2000);
+    // One frame dribbled a byte per send...
+    for (const char byte : frame) {
+      sock.send_all(&byte, 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // ...then one frame split at every interior boundary.
+    for (std::size_t cut = 1; cut + 1 < frame.size(); ++cut) {
+      sock.send_all(frame.data(), cut);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      sock.send_all(frame.data() + cut, frame.size() - cut);
+    }
+  });
+  serve::Socket sock = listener.accept();
+  CHECK(sock.valid());
+  std::size_t frames = 0;
+  while (const auto parsed = serve::recv_frame(sock, serve::Deadline::after_ms(10000))) {
+    CHECK(parsed->kind == serve::kFrameHello);
+    ++frames;
+  }
+  CHECK(frames == frame.size() - 1);  // 1 byte-wise + size-2 split variants
+  sender.join();
+}
+
+// A peer death at every byte boundary of a frame: before any byte it is a
+// clean close (nullopt); mid-frame it is an io::IoError — and specifically
+// not a TimeoutError, so retry loops can tell a cut from a hang.
+void test_disconnect_classification() {
+  serve::Listener listener("127.0.0.1", 0);
+  const std::string frame = serve::encode_frame(serve::kFrameHello);
+  for (std::size_t cut = 0; cut <= frame.size(); ++cut) {
+    std::thread sender([&] {
+      serve::Socket sock = serve::tcp_connect("127.0.0.1", listener.port(), 2000);
+      if (cut > 0) sock.send_all(frame.data(), cut);
+      sock.close();
+    });
+    serve::Socket sock = listener.accept();
+    CHECK(sock.valid());
+    if (cut == 0) {
+      CHECK(!serve::recv_frame(sock).has_value());
+    } else if (cut == frame.size()) {
+      CHECK(serve::recv_frame(sock).has_value());
+      CHECK(!serve::recv_frame(sock).has_value());
+    } else {
+      bool truncated = false, timed_out = false;
+      try {
+        serve::recv_frame(sock, serve::Deadline::after_ms(5000));
+      } catch (const serve::TimeoutError&) {
+        timed_out = true;
+      } catch (const io::IoError&) {
+        truncated = true;
+      }
+      CHECK(truncated && !timed_out);
+    }
+    sender.join();
+  }
+}
+
+// A connected but silent peer must surface as TimeoutError at the deadline
+// — whether it never starts a frame or stalls in the middle of one.
+void test_recv_timeout() {
+  serve::Listener listener("127.0.0.1", 0);
+  const std::string frame = serve::encode_frame(serve::kFrameHello);
+  for (const std::size_t sent_bytes : {std::size_t{0}, std::size_t{4}}) {
+    std::mutex m;
+    std::condition_variable done_cv;
+    bool done = false;
+    std::thread peer([&] {
+      serve::Socket sock = serve::tcp_connect("127.0.0.1", listener.port(), 2000);
+      if (sent_bytes > 0) sock.send_all(frame.data(), sent_bytes);
+      // Hold the connection open past the receiver's deadline.
+      std::unique_lock<std::mutex> lock(m);
+      done_cv.wait(lock, [&] { return done; });
+    });
+    serve::Socket sock = listener.accept();
+    bool timed_out = false;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      serve::recv_frame(sock, serve::Deadline::after_ms(100));
+    } catch (const serve::TimeoutError&) {
+      timed_out = true;
+    }
+    CHECK(timed_out);
+    CHECK(std::chrono::steady_clock::now() - t0 >= std::chrono::milliseconds(90));
+    {
+      const std::lock_guard<std::mutex> lock(m);
+      done = true;
+    }
+    done_cv.notify_one();
+    peer.join();
+  }
+}
+
+void test_connect_failure_names_attempts() {
+  std::uint16_t dead_port = 0;
+  {
+    serve::Listener probe("127.0.0.1", 0);
+    dead_port = probe.port();
+  }  // closed again: connections to dead_port are now refused
+
+  // The two-argument form makes exactly one attempt and says so.
+  bool threw = false;
+  try {
+    serve::tcp_connect("127.0.0.1", dead_port, 0);
+  } catch (const io::IoError& e) {
+    threw = true;
+    const std::string what = e.what();
+    CHECK(what.find("cannot connect") != std::string::npos);
+    CHECK(what.find("after 1 attempt:") != std::string::npos);
+  }
+  CHECK(threw);
+
+  // A retry window keeps trying on backoff, then reports how often.
+  serve::ConnectOptions options;
+  options.retry_ms = 150;
+  options.backoff.initial_backoff_ms = 10;
+  options.backoff.max_backoff_ms = 20;
+  options.backoff.jitter = 0.0;
+  threw = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    serve::tcp_connect("127.0.0.1", dead_port, options);
+  } catch (const io::IoError& e) {
+    threw = true;
+    const std::string what = e.what();
+    CHECK(what.find(" attempts:") != std::string::npos);  // plural: it retried
+  }
+  CHECK(threw);
+  CHECK(std::chrono::steady_clock::now() - t0 >= std::chrono::milliseconds(140));
+}
+
+void test_queue_outcomes() {
+  using Outcome = serve::RingQueue<int>::PushOutcome;
+  serve::RingQueue<int> queue(2);
+  CHECK(queue.offer(1) == Outcome::accepted);
+  CHECK(queue.offer(2) == Outcome::accepted);
+  CHECK(queue.offer(3) == Outcome::full);  // backpressure: transient
+  const std::vector<int> wave = queue.pop_wave(1);
+  CHECK(wave.size() == 1 && wave[0] == 1);
+  CHECK(queue.offer(4) == Outcome::accepted);  // slot freed
+  queue.close();
+  CHECK(queue.offer(5) == Outcome::closed);  // shutdown: go elsewhere
+}
+
+}  // namespace
+
+int main() {
+  test_deadline();
+  test_split_delivery();
+  test_disconnect_classification();
+  test_recv_timeout();
+  test_queue_outcomes();
+  test_connect_failure_names_attempts();
+  return TEST_MAIN_RESULT();
+}
