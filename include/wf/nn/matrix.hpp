@@ -1,10 +1,11 @@
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <span>
 #include <stdexcept>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace wf::util {
 class ThreadPool;
@@ -26,25 +27,26 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   float& operator()(std::size_t r, std::size_t c) {
-    assert(r < rows_ && c < cols_ && "Matrix::operator(): index out of range");
+    WF_DCHECK(r < rows_ && c < cols_, "Matrix::operator(): index out of range");
     return data_[r * cols_ + c];
   }
   float operator()(std::size_t r, std::size_t c) const {
-    assert(r < rows_ && c < cols_ && "Matrix::operator(): index out of range");
+    WF_DCHECK(r < rows_ && c < cols_, "Matrix::operator(): index out of range");
     return data_[r * cols_ + c];
   }
 
   std::span<float> row(std::size_t r) {
-    if (r >= rows_) throw std::out_of_range("Matrix::row");
+    WF_CHECK(r < rows_, "Matrix::row: index out of range");
     return {data_.data() + r * cols_, cols_};
   }
   std::span<const float> row_span(std::size_t r) const {
-    if (r >= rows_) throw std::out_of_range("Matrix::row_span");
+    WF_CHECK(r < rows_, "Matrix::row_span: index out of range");
     return {data_.data() + r * cols_, cols_};
   }
 
   void set_row(std::size_t r, std::span<const float> values) {
-    if (values.size() != cols_) throw std::invalid_argument("Matrix::set_row: width mismatch");
+    WF_CHECK(r < rows_, "Matrix::set_row: row out of range");
+    WF_CHECK(values.size() == cols_, "Matrix::set_row: width mismatch");
     float* dst = data_.data() + r * cols_;
     for (std::size_t c = 0; c < cols_; ++c) dst[c] = values[c];
   }

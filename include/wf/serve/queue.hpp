@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace wf::serve {
 
 // Bounded MPSC ring buffer between the connection threads and the model
@@ -15,6 +17,24 @@ namespace wf::serve {
 // The single consumer drains every queued item in one wave, so requests
 // arriving while a batch is in flight coalesce into the next
 // fingerprint_batch call instead of paying one model dispatch each.
+//
+// Happens-before contract (verified under ThreadSanitizer by
+// test_ring_chaos):
+//
+//   * Every state transition — offer, pop_wave, close — happens under the
+//     one mutex, so for any two operations one strictly happens-before the
+//     other; there are no lock-free fast paths to reason about.
+//   * An accepted offer() happens-before the pop_wave() that returns the
+//     item: the producer's writes to T (made before offering) are visible
+//     to the consumer. Items are delivered exactly once, in ring order.
+//   * close() happens-before every subsequent offer() observing `closed`
+//     and before the empty pop_wave() that tells the consumer to exit.
+//     Items accepted before the close stay poppable — close() never loses
+//     an accepted item, so a producer seeing `accepted` may rely on its
+//     request being answered even when the close races the offer.
+//   * The condition variable is only an optimization over this ordering: a
+//     consumer woken spuriously re-reads count_/closed_ under the mutex, so
+//     missed-wakeup bugs cannot reorder the contract, only delay it.
 template <typename T>
 class RingQueue {
  public:
@@ -52,6 +72,7 @@ class RingQueue {
   std::vector<T> pop_wave(std::size_t max_items) {
     std::unique_lock<std::mutex> lock(mutex_);
     ready_.wait(lock, [&] { return count_ > 0 || closed_; });
+    WF_DCHECK(count_ <= slots_.size(), "RingQueue: count exceeds capacity");
     std::vector<T> wave;
     const std::size_t n = std::min(count_, max_items == 0 ? count_ : max_items);
     wave.reserve(n);

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+// Contract macros for the library's hot paths, replacing ad-hoc assert():
+//
+//   WF_CHECK(cond)            always-on invariant; throws util::CheckError
+//   WF_CHECK(cond, "why")     with a context message
+//   WF_DCHECK(cond[, "why"])  debug-only (compiled out under NDEBUG, but the
+//                             condition still type-checks)
+//
+// A failed check throws instead of aborting: callers several layers up (the
+// serving worker, the CLI driver) already convert exceptions into classified
+// ERRR replies or nonzero exits, so a contract violation surfaces with
+// context instead of tearing the process down mid-batch. Raw assert() is
+// banned by wf-lint's `assert-macro` rule — it vanishes under NDEBUG, which
+// is exactly the build the serving daemon runs.
+
+namespace wf::util {
+
+// A violated WF_CHECK: a programming error (std::logic_error family), never
+// an environmental failure.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message = {});
+
+}  // namespace wf::util
+
+#define WF_CHECK(cond, ...)                                                    \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::wf::util::check_failed(#cond, __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define WF_DCHECK(cond, ...)     \
+  do {                           \
+    if (false) {                 \
+      (void)(cond);              \
+    }                            \
+  } while (0)
+#else
+#define WF_DCHECK(cond, ...) WF_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#endif

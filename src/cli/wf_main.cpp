@@ -522,7 +522,8 @@ int cmd_serve(const CliOptions& options) {
     std::cout << "wf serve: shard slice " << options.slice_index << "/" << options.slice_count
               << "\n";
   // Scripts wait for this exact line before starting clients; flush it.
-  std::cout << "wf serve: listening on " << options.host << ":" << server.port() << std::endl;
+  std::cout << "wf serve: listening on " << options.host << ":" << server.port() << "\n"
+            << std::flush;
   server.wait();
   server.stop();
   const serve::ServerStats stats = server.stats();
@@ -611,8 +612,8 @@ int cmd_proxy(const CliOptions& options) {
   // Scripts wait for this exact line before starting clients; flush it.
   std::cout << "wf proxy: listening on " << options.host << ":" << proxy.port()
             << " -> " << options.upstream.host << ":" << options.upstream.port
-            << " (fault " << serve::fault_kind_name(plan.kind) << " @ " << plan.rate << ")"
-            << std::endl;
+            << " (fault " << serve::fault_kind_name(plan.kind) << " @ " << plan.rate << ")\n"
+            << std::flush;
   proxy.wait();
   return 0;
 }

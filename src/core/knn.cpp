@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wf::core {
@@ -50,6 +51,8 @@ template <bool kHasRowIds>
 void scan_shard_impl(const ShardView& shard, const float* dots, double query_norm,
                      std::size_t k, std::vector<Candidate>& heap, double* best,
                      std::vector<Candidate>& merged) {
+  WF_DCHECK(shard.rows == 0 || (shard.sq_norms != nullptr && shard.class_ids != nullptr),
+            "scan_shard: shard tables missing");
   const auto cmp = [](const Candidate& a, const Candidate& b) { return a < b; };
   heap.clear();
   for (std::size_t j = 0; j < shard.rows; ++j) {
@@ -93,7 +96,10 @@ void finalize_candidates(std::size_t n_ids, LabelOf label_of, std::size_t k,
     merged.resize(k);
   }
   votes.assign(n_ids, 0);
-  for (const Candidate& c : merged) ++votes[static_cast<std::size_t>(c.second & kClassMask)];
+  for (const Candidate& c : merged) {
+    WF_DCHECK((c.second & kClassMask) < n_ids, "finalize: candidate class id out of range");
+    ++votes[static_cast<std::size_t>(c.second & kClassMask)];
+  }
   out.clear();
   out.reserve(n_ids);
   for (std::size_t id = 0; id < n_ids; ++id)

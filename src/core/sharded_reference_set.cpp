@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/env.hpp"
 #include "util/thread_pool.hpp"
 
@@ -124,6 +125,7 @@ ShardedReferenceSet ShardedReferenceSet::restore(std::size_t dim, std::uint64_t 
 }
 
 ShardView ShardedReferenceSet::shard_view(std::size_t shard) const {
+  WF_CHECK(shard < shards_.size(), "shard_view: shard index out of range");
   const Shard& s = shards_[shard];
   return {s.data.data(), s.sq_norms.data(), s.class_ids.data(), s.row_ids.data(),
           s.labels.size()};

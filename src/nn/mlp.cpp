@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -186,6 +187,11 @@ void Mlp::adam_step(double learning_rate) {
   const double bias1 = 1.0 - std::pow(kBeta1, adam_t_);
   const double bias2 = 1.0 - std::pow(kBeta2, adam_t_);
   for (Layer& layer : layers_) {
+    // Adam moments track the weight shape for the Mlp's whole life; a drift
+    // here (e.g. a load() that skipped the moment reset) would silently
+    // corrupt training.
+    WF_DCHECK(layer.mw.rows() == layer.w.rows() && layer.mw.cols() == layer.w.cols(),
+              "adam_step: moment/weight shape drift");
     float* w = layer.w.data();
     float* gw = layer.gw.data();
     float* mw = layer.mw.data();

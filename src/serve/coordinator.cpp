@@ -254,6 +254,8 @@ RankReply CoordinatorHandler::rank(const nn::Matrix& queries) {
     } catch (const ServeError& e) {
       if (!e.retryable()) throw;
     } catch (const io::IoError&) {
+      // Transport failures are retryable outages by definition; the partial
+      // /unavailable accounting below handles them.
     }
   }
 

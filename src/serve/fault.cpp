@@ -85,6 +85,8 @@ void FaultProxy::pump(Connection& connection, bool downstream, util::Rng rng) {
           case FaultKind::drop:
             continue;  // swallow this chunk, keep the stream running
           case FaultKind::delay:
+            // An injected fault, not a retry: the proxy's job is to stall.
+            // wf-lint: allow(retry-policy)
             std::this_thread::sleep_for(std::chrono::milliseconds(plan_.delay_ms));
             break;  // then forward untouched
           case FaultKind::truncate:

@@ -8,6 +8,7 @@
 #include "core/adaptive.hpp"
 #include "data/dataset.hpp"
 #include "serve/client.hpp"
+#include "util/check.hpp"
 
 namespace wf::serve {
 
@@ -122,6 +123,8 @@ void Server::serve_connection(std::size_t slot) {
       try {
         send_frame(socket, encode_error(false, e.what(), ErrorClass::protocol));
       } catch (const io::IoError&) {
+        // Best effort: the stream is already broken; the hangup below is
+        // the real signal.
       }
       return;
     }
@@ -143,12 +146,14 @@ void Server::serve_connection(std::size_t slot) {
       try {
         send_frame(socket, encode_error(true, e.what(), ErrorClass::timeout));
       } catch (const io::IoError&) {
+        // Best effort: the peer may be gone; it retries off its own timeout.
       }
       return;
     } catch (const io::IoError& e) {
       try {
         send_frame(socket, encode_error(false, e.what(), ErrorClass::protocol));
       } catch (const io::IoError&) {
+        // Best effort: cannot report a broken stream over itself.
       }
       return;
     }
@@ -260,10 +265,17 @@ void Server::process_wave(std::vector<Request> wave) {
     for (std::size_t i = begin; i < end; ++i)
       for (std::size_t r = 0; r < wave[i].queries.rows(); ++r)
         batch.set_row(row++, wave[i].queries.row_span(r));
+    WF_CHECK(row == rows, "process_wave: coalesced batch lost rows");
 
+    // Requests whose promise is already fulfilled; the error paths below
+    // must skip them — a second set_value would throw future_error out of
+    // the worker thread and take the whole daemon down.
+    std::size_t delivered = begin;
     try {
       if (wave[begin].scan) {
         const core::SliceScan scan = handler_->scan(batch);
+        WF_CHECK(scan.candidates.size() == rows,
+                 "process_wave: handler scanned a different query count than sent");
         std::size_t offset = 0;
         for (std::size_t i = begin; i < end; ++i) {
           core::SliceScan part;
@@ -280,9 +292,12 @@ void Server::process_wave(std::vector<Request> wave) {
           offset += part.n_queries;
           wave[i].reply.set_value(
               encode_frame(kFrameSlice, [&](io::Writer& w) { write_slice_scan(w, part); }));
+          ++delivered;
         }
       } else {
         const RankReply ranked = handler_->rank(batch);
+        WF_CHECK(ranked.rankings.size() == rows,
+                 "process_wave: handler ranked a different query count than sent");
         std::size_t offset = 0;
         for (std::size_t i = begin; i < end; ++i) {
           const Rankings part(
@@ -296,16 +311,18 @@ void Server::process_wave(std::vector<Request> wave) {
             write_rankings(w, part);
             if (ranked.meta.degraded) write_reply_meta(w, ranked.meta);
           }));
+          ++delivered;
         }
       }
     } catch (const ServeError& e) {
       // A coordinator handler's classified failure (all backends down, …):
-      // forward class and retryability to every request of the chunk.
+      // forward class and retryability to every still-unanswered request of
+      // the chunk.
       const std::string error = encode_error(e.retryable(), e.what(), e.klass());
-      for (std::size_t i = begin; i < end; ++i) wave[i].reply.set_value(error);
+      for (std::size_t i = delivered; i < end; ++i) wave[i].reply.set_value(error);
     } catch (const std::exception& e) {
       const std::string error = encode_error(false, e.what());
-      for (std::size_t i = begin; i < end; ++i) wave[i].reply.set_value(error);
+      for (std::size_t i = delivered; i < end; ++i) wave[i].reply.set_value(error);
     }
 
     {

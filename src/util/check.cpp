@@ -1,0 +1,20 @@
+#include "util/check.hpp"
+
+namespace wf::util {
+
+void check_failed(const char* expr, const char* file, int line, const std::string& message) {
+  std::string what = "WF_CHECK failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (!message.empty()) {
+    what += " (";
+    what += message;
+    what += ")";
+  }
+  throw CheckError(what);
+}
+
+}  // namespace wf::util

@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include "util/check.hpp"
 #include "util/env.hpp"
 
 namespace wf::util {
@@ -65,11 +66,13 @@ void ThreadPool::run_chunks(ShardState& state) {
 void ThreadPool::dispatch(std::size_t begin, std::size_t end, std::size_t grain,
                           const std::function<void(std::size_t, std::size_t)>& fn) {
   const std::size_t n = end - begin;
+  WF_DCHECK(n > 0, "dispatch: empty range should have been handled inline");
   ShardState state;
   state.next.store(begin);
   state.end = end;
   // Several chunks per executor so uneven work still balances.
   state.chunk = std::max(grain, (n + 4 * size() - 1) / (4 * size()));
+  WF_DCHECK(state.chunk > 0, "dispatch: zero chunk would spin forever");
   state.body = &fn;
 
   const std::size_t n_chunks = (n + state.chunk - 1) / state.chunk;

@@ -101,7 +101,9 @@ int main() {
     // Concurrent clients: coalesced into shared model batches, every reply
     // still belongs to its own request, bit-identically.
     std::vector<std::thread> clients;
-    std::vector<bool> ok(test.size(), false);
+    // vector<char>, not vector<bool>: the threads write disjoint elements,
+    // which bit-packing would turn into same-byte data races.
+    std::vector<char> ok(test.size(), 0);
     for (std::size_t i = 0; i < test.size(); ++i) {
       clients.emplace_back([&, i] {
         serve::Client mine("127.0.0.1", server.port(), 2000);

@@ -1,0 +1,14 @@
+// Seeded violation: a raw assert guarding a hot-path invariant. It vanishes
+// under NDEBUG (Release builds run unguarded) and aborts without naming the
+// failed values; WF_CHECK/WF_DCHECK from util/check.hpp do neither.
+// wf-lint-path: src/nn/kernel.cpp
+// wf-lint-expect: assert-macro
+#include <cassert>
+#include <cstddef>
+
+float dot(const float* a, const float* b, std::size_t n) {
+  assert(a != nullptr && b != nullptr);
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}

@@ -1,0 +1,15 @@
+// Seeded violation: randomness outside util::Rng. Every draw here is either
+// non-reproducible across platforms (mt19937 streams differ from our
+// splitmix64) or globally stateful (rand), so two runs of the "same" seed
+// diverge — exactly what the determinism guarantee forbids.
+// wf-lint-path: src/core/sampler.cpp
+// wf-lint-expect: raw-random
+#include <cstdlib>
+#include <random>
+
+int pick_reference(int n) {
+  std::mt19937 gen(std::random_device{}());
+  std::uniform_int_distribution<int> dist(0, n - 1);
+  if (n < 2) return std::rand() % n;
+  return dist(gen);
+}

@@ -1,0 +1,12 @@
+// Seeded violation: a raw blocking ::recv outside src/serve/net.cpp. With no
+// Deadline in sight, a hung peer wedges this thread forever — the exact
+// failure mode the PR 7 timeout work eliminated.
+// wf-lint-path: src/serve/raw_reader.cpp
+// wf-lint-expect: socket-deadline
+#include <cstddef>
+#include <sys/socket.h>
+
+std::size_t read_reply(int fd, char* buffer, std::size_t n) {
+  const auto got = ::recv(fd, buffer, n, 0);
+  return got > 0 ? static_cast<std::size_t>(got) : 0;
+}

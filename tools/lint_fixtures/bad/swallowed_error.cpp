@@ -1,0 +1,19 @@
+// Seeded violation: the ignored-write bug class. write_csv throws when the
+// result table cannot be fully written; an empty catch turns that into a
+// run that exits 0 with a missing CSV (the pre-PR-6 Table::write_csv bug,
+// rebuilt by hand).
+// wf-lint-path: src/eval/exp_quiet.cpp
+#include <exception>
+#include <string>
+
+struct Table {
+  void write_csv(const std::string& path) const;
+};
+
+// wf-lint-expect: swallowed-error
+void save_results(const Table& table) {
+  try {
+    table.write_csv("results/exp_quiet.csv");
+  } catch (const std::exception&) {
+  }
+}

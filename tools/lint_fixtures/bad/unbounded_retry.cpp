@@ -1,0 +1,15 @@
+// Seeded violation: an ad-hoc retry spin. Fixed 50 ms pacing with no attempt
+// bound is the pattern RetryPolicy replaced: it never gives up, and a fleet
+// of these thunders in lockstep because nothing jitters the schedule.
+// wf-lint-path: src/serve/naive_client.cpp
+// wf-lint-expect: retry-policy
+#include <chrono>
+#include <thread>
+
+bool try_once();
+
+void send_until_accepted() {
+  while (!try_once()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}

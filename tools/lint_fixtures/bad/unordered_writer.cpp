@@ -1,0 +1,18 @@
+// Seeded violation: iterating an unordered_map straight into a CSV writer.
+// The iteration order is unspecified and differs across libstdc++ versions
+// and hash seeds, so the "same" run emits differently-ordered rows — the
+// bit-identical-output guarantee dies here.
+// wf-lint-path: src/io/class_report.cpp
+// wf-lint-expect: unordered-iteration
+#include <string>
+#include <unordered_map>
+
+struct Table {
+  void add_row(std::string label, int count);
+  void write_csv(const std::string& path) const;
+};
+
+void dump_counts(const std::unordered_map<std::string, int>& counts, Table& table) {
+  for (const auto& [label, count] : counts) table.add_row(label, count);
+  table.write_csv("results/class_counts.csv");
+}

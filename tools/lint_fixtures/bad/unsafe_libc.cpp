@@ -1,0 +1,15 @@
+// Seeded violation: banned libc calls. sprintf/strcpy overflow silently,
+// and atoi's silent-zero failure mode is how WF_THREADS=4x once parsed as
+// accepting garbage (fixed in PR 6 by Env::parse_count).
+// wf-lint-path: src/util/format.cpp
+// wf-lint-expect: unsafe-libc
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+int parse_port(const char* text, char* out) {
+  char scratch[16];
+  std::sprintf(scratch, "port=%s", text);
+  strcpy(out, scratch);
+  return atoi(text);
+}

@@ -1,0 +1,13 @@
+// Seeded violation: wall-clock reads. Seeding from time() makes every run
+// unique, and system_clock timestamps in results make CSV diffs (the
+// determinism check CI relies on) fail spuriously.
+// wf-lint-path: src/eval/report.cpp
+// wf-lint-expect: wall-clock
+#include <chrono>
+#include <ctime>
+
+long run_stamp() {
+  const long seed = static_cast<long>(std::time(nullptr));
+  const auto now = std::chrono::system_clock::now();
+  return seed + std::chrono::duration_cast<std::chrono::seconds>(now.time_since_epoch()).count();
+}

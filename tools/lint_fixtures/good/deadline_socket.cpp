@@ -1,0 +1,21 @@
+// Clean counterpart to socket_no_deadline.cpp: all I/O goes through the
+// Deadline-aware Socket wrapper, so a hung peer surfaces as TimeoutError
+// instead of a wedged thread. An intentionally-dropped best-effort failure
+// carries its explanation in the catch block.
+// wf-lint-path: src/serve/framed_reader.cpp
+#include <cstddef>
+#include <string>
+
+#include "serve/net.hpp"
+
+std::string read_reply(wf::serve::Socket& socket, std::size_t n, int timeout_ms) {
+  std::string buffer(n, '\0');
+  const wf::serve::Deadline deadline = wf::serve::Deadline::after_ms(timeout_ms);
+  if (!socket.recv_exact(buffer.data(), n, deadline)) buffer.clear();
+  try {
+    socket.send_all("ACK", 3, deadline);
+  } catch (const wf::io::IoError&) {
+    // Best effort: the peer already has its data; a lost ACK costs nothing.
+  }
+  return buffer;
+}

@@ -1,0 +1,14 @@
+// Clean counterpart to unbounded_retry.cpp: the loop runs on a Backoff over
+// the shared RetryPolicy — bounded attempts, exponential delays, seeded
+// jitter — and rethrows once the policy gives up.
+// wf-lint-path: src/serve/paced_client.cpp
+#include "serve/retry.hpp"
+
+bool try_once();
+
+void send_until_accepted(const wf::serve::RetryPolicy& policy) {
+  wf::serve::Backoff backoff(policy);
+  while (!try_once()) {
+    if (!backoff.retry()) throw std::runtime_error("gave up after bounded retries");
+  }
+}

@@ -1,0 +1,9 @@
+// Clean counterpart to raw_random.cpp: every draw flows through a seeded
+// util::Rng, forked per stream, so any run is exactly reproducible.
+// wf-lint-path: src/core/sampler.cpp
+#include "util/rng.hpp"
+
+int pick_reference(wf::util::Rng& rng, int n) {
+  wf::util::Rng stream = rng.fork(7);
+  return static_cast<int>(stream.index(static_cast<std::size_t>(n)));
+}

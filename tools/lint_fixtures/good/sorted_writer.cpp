@@ -1,0 +1,21 @@
+// Clean counterpart to unordered_writer.cpp: the unordered_map is drained
+// into a vector and sorted before anything reaches the writer, so the CSV
+// row order is a function of the data alone.
+// wf-lint-path: src/io/class_report.cpp
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+struct Table {
+  void add_row(std::string label, int count);
+  void write_csv(const std::string& path) const;
+};
+
+void dump_counts(const std::unordered_map<std::string, int>& counts, Table& table) {
+  std::vector<std::pair<std::string, int>> rows(counts.begin(), counts.end());
+  std::sort(rows.begin(), rows.end());
+  for (const auto& [label, count] : rows) table.add_row(label, count);
+  table.write_csv("results/class_counts.csv");
+}
