@@ -1,0 +1,60 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wf::obs {
+
+class Histogram;
+
+// Master switch for span tracing, read once from WF_OBS (via util::Env) on
+// first use; set_enabled flips it at runtime (CLI/tests). When disabled a
+// Span construct/destruct is a single relaxed atomic load — zero
+// allocation, zero clock reads — so instrumented hot paths stay free.
+bool enabled();
+void set_enabled(bool on);
+
+// One finished span. Timestamps are offsets from a process-private steady
+// epoch (never wall clock), so records order correctly but carry no
+// absolute time — determinism-safe by construction.
+struct SpanRecord {
+  std::string name;
+  std::uint32_t depth = 0;      // nesting level within its thread (0 = root)
+  std::uint64_t thread = 0;     // ordinal assigned at the thread's first span
+  std::uint64_t sequence = 0;   // per-thread monotonic completion index
+  std::uint64_t start_us = 0;   // microseconds since the process steady epoch
+  std::uint64_t duration_us = 0;
+};
+
+// Per-thread ring capacity: the newest kSpanRingCapacity spans survive.
+inline constexpr std::size_t kSpanRingCapacity = 256;
+
+// RAII scoped timer. Construction (when enabled) captures the steady clock
+// and bumps the thread's nesting depth; destruction records the duration
+// into the thread's bounded ring AND into the global histogram
+// "span.<name>", so quantiles accumulate even after the ring wraps.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  Histogram* histogram_ = nullptr;
+  std::uint32_t depth_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+  bool active_ = false;
+};
+
+// Completed spans from every thread's ring, sorted by (thread, sequence).
+std::vector<SpanRecord> recent_spans();
+
+// Empty every ring (rings themselves persist — thread ordinals are stable).
+void clear_spans();
+
+}  // namespace wf::obs

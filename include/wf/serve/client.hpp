@@ -60,6 +60,9 @@ class Client {
   // timeouts, broken connections) on the config's bounded backoff schedule;
   // rethrows the last failure once attempts are exhausted.
   Rankings query_until_accepted(const nn::Matrix& features, ReplyMeta* meta = nullptr);
+  // Live metrics snapshot (STAT -> METR). `spans`, when non-null, receives
+  // the server's recent span records (empty unless it runs with WF_OBS).
+  obs::Snapshot stats(std::vector<obs::SpanRecord>* spans = nullptr);
   // Asks the daemon to shut down (it answers BYEE first).
   void stop_server();
 

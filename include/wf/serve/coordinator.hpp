@@ -88,6 +88,9 @@ class CoordinatorHandler final : public Handler {
   void mark_success(std::size_t i);
   void mark_failure(std::size_t i);
   void reconnect_loop();
+  // Health writes funnel through here (mutex_ held): counts every
+  // up/suspect/down transition and refreshes the backends-down gauge.
+  void set_health_locked(std::size_t i, BackendHealth health);
 
   CoordinatorConfig config_;
   ServerInfo info_;      // merged view: slice 0 of 1, whole reference set
@@ -102,6 +105,14 @@ class CoordinatorHandler final : public Handler {
   std::condition_variable reconnect_cv_;
   std::thread reconnect_thread_;
   bool stopping_ = false;
+
+  // Cached obs::Registry::global() instruments (stable references).
+  obs::Histogram* scatter_ms_;
+  obs::Counter* degraded_total_;
+  obs::Counter* transitions_total_;
+  obs::Counter* reconnects_total_;
+  obs::Gauge* backends_down_;
+  std::vector<obs::Counter*> backend_transitions_;  // per slice, by index
 };
 
 }  // namespace wf::serve

@@ -11,6 +11,8 @@
 #include "core/knn.hpp"
 #include "io/serialize.hpp"
 #include "nn/matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/net.hpp"
 
 namespace wf::serve {
@@ -22,9 +24,10 @@ namespace wf::serve {
 //   frame   := u64 payload_bytes (little-endian) | payload
 //   payload := "WFIO" | u32 version | kind | Section...
 //
-// Request kinds:  HELO (no body), QRYB {FEAT}, SCAN {FEAT}, STOP (no body)
+// Request kinds:  HELO (no body), QRYB {FEAT}, SCAN {FEAT}, STAT (no body),
+//                 STOP (no body)
 // Reply kinds:    SNFO {INFO}, RNKB {RANK [DGRD]}, SLCE {PART}, BYEE
-//                 (no body), ERRR {EMSG}
+//                 (no body), ERRR {EMSG}, METR {SNAP [SPNS]}
 //
 // Every request gets exactly one reply. Malformed, truncated or oversized
 // frames raise io::IoError — never a crash; a server answers them with an
@@ -42,7 +45,9 @@ inline constexpr std::uint32_t kServeWireVersion = 2;
 inline constexpr char kFrameHello[] = "HELO";
 inline constexpr char kFrameQuery[] = "QRYB";
 inline constexpr char kFrameScan[] = "SCAN";
+inline constexpr char kFrameStat[] = "STAT";
 inline constexpr char kFrameStop[] = "STOP";
+inline constexpr char kFrameMetrics[] = "METR";
 inline constexpr char kFrameInfo[] = "SNFO";
 inline constexpr char kFrameRankings[] = "RNKB";
 inline constexpr char kFrameSlice[] = "SLCE";
@@ -148,5 +153,16 @@ void write_reply_meta(io::Writer& out, const ReplyMeta& meta);
 // Reads the trailing DGRD section if the payload carries one (after the
 // main section was consumed); otherwise returns a non-degraded default.
 ReplyMeta read_trailing_meta(ParsedFrame& frame);
+
+// METR reply body: a full metrics snapshot (SNAP section, entries in the
+// registry's sorted order), optionally followed by a SPNS section carrying
+// recent span records — written only when spans exist, so span-free
+// snapshots stay byte-identical for peers that predate tracing.
+void write_snapshot(io::Writer& out, const obs::Snapshot& snapshot);
+obs::Snapshot read_snapshot(io::Reader& in);
+
+void write_spans(io::Writer& out, const std::vector<obs::SpanRecord>& spans);
+// Reads the trailing SPNS section if present; empty vector otherwise.
+std::vector<obs::SpanRecord> read_trailing_spans(ParsedFrame& frame);
 
 }  // namespace wf::serve

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace wf::serve {
@@ -58,7 +59,13 @@ class Backoff {
 
   // Records a failure and returns the next delay without sleeping or
   // gating on max_attempts.
-  int next_delay_ms() { return policy_.delay_ms(++failures_, rng_); }
+  int next_delay_ms() {
+    // Every backoff step in the process, whatever the call site (client
+    // resends, scatter retries, reconnects), lands in one counter.
+    static obs::Counter& backoffs_total = obs::Registry::global().counter("retry.backoffs_total");
+    backoffs_total.inc();
+    return policy_.delay_ms(++failures_, rng_);
+  }
 
   bool retry() {
     const int delay = next_delay_ms();

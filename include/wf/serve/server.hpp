@@ -76,6 +76,9 @@ struct ServerConfig {
   // closes it quietly (no unsolicited frame — that would desync the
   // strictly request/reply stream). <= 0: keep idle connections forever.
   int idle_timeout_ms = 0;
+  // > 0: a background thread logs one requests/queries/queue-depth line
+  // every interval (the CLI's --stats-interval-ms). <= 0: no periodic line.
+  int stats_interval_ms = 0;
 };
 
 struct ServerStats {
@@ -121,6 +124,14 @@ class Server {
   void worker_loop();
   void process_wave(std::vector<Request> wave);
   void request_stop();
+  void stats_loop();
+  // Encodes an ERRR reply AND counts it (serve.errors_total + per-class),
+  // so every error path — connection parse, queue, worker — is metered.
+  std::string error_frame(bool retryable, const std::string& message,
+                          ErrorClass klass = ErrorClass::unknown);
+  // The serve.handle_ms.<kind> histogram for a request kind; null for
+  // kinds without one (STOP, unknown).
+  obs::Histogram* handle_histogram(const std::string& kind) const;
 
   std::shared_ptr<Handler> handler_;
   ServerConfig config_;
@@ -140,6 +151,24 @@ class Server {
 
   mutable std::mutex stats_mutex_;
   ServerStats stats_;
+
+  std::thread stats_thread_;
+
+  // Cached obs::Registry::global() instruments (references are stable for
+  // the registry's lifetime), so the hot paths never lock the registry map.
+  obs::Counter* requests_total_;
+  obs::Counter* queries_total_;
+  obs::Counter* batches_total_;
+  obs::Counter* rejected_total_;
+  obs::Counter* timeouts_total_;
+  obs::Counter* errors_total_;
+  obs::Counter* errors_by_class_[6];
+  obs::Gauge* queue_depth_;
+  obs::Histogram* wave_batch_;
+  obs::Histogram* handle_helo_;
+  obs::Histogram* handle_qryb_;
+  obs::Histogram* handle_scan_;
+  obs::Histogram* handle_stat_;
 };
 
 }  // namespace wf::serve

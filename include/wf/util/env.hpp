@@ -38,12 +38,24 @@ class Env {
   // their built-in default); the `wf` CLI's --timeout-ms overrides it.
   static std::size_t serve_timeout_ms();
 
+  // WF_OBS: enables span tracing (obs::Span ring-buffer recording) in the
+  // pipeline hot paths. Same truthiness rules as WF_SMOKE. Metrics counters
+  // are always live; only spans sit behind this switch. Note obs::enabled()
+  // caches the first read — flip it at runtime via obs::set_enabled.
+  static bool obs();
+
+  // WF_LOG_LEVEL: minimum severity that reaches stderr — "debug", "info"
+  // or "warn" (any case). Unset or unrecognized values read as "info".
+  static std::string log_level();
+
   // CLI overrides: take precedence over the environment until cleared.
   static void override_smoke(bool smoke);
   static void override_threads(std::size_t threads);
   static void override_shards(std::size_t shards);
   static void override_results_dir(std::string dir);
   static void override_serve_timeout_ms(std::size_t ms);
+  static void override_obs(bool obs);
+  static void override_log_level(std::string level);
 
   // One log_info line with the effective settings, emitted at most once per
   // process (every entry point calls it; only the first call prints).

@@ -5,11 +5,20 @@
 
 namespace wf::util {
 
+// Severity order: debug < info < warn. Lines below the WF_LOG_LEVEL
+// threshold (Env::log_level, default "info") are dropped at flush time.
+enum class LogLevel : int { debug = 0, info = 1, warn = 2 };
+
+// The threshold currently in effect (live WF_LOG_LEVEL read).
+LogLevel log_threshold();
+
 // One-line logger: `log_info() << "x = " << x;` flushes a single prefixed
-// line when the temporary is destroyed at the end of the statement.
+// line when the temporary is destroyed at the end of the statement. The
+// flush takes a process-wide mutex, so concurrent server/coordinator
+// threads never interleave characters within a line.
 class LogLine {
  public:
-  explicit LogLine(const char* level) : level_(level) {}
+  explicit LogLine(LogLevel level) : level_(level) {}
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
   LogLine(LogLine&& other) noexcept : level_(other.level_), stream_(std::move(other.stream_)) {
@@ -24,11 +33,12 @@ class LogLine {
   }
 
  private:
-  const char* level_;
+  LogLevel level_;
   std::ostringstream stream_;
   bool moved_from_ = false;
 };
 
+LogLine log_debug();
 LogLine log_info();
 LogLine log_warn();
 

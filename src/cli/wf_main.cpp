@@ -6,21 +6,26 @@
 //   wf eval  --model FILE [flags]            reload and evaluate a saved attacker
 //   wf serve --model FILE [flags]            resident daemon answering query frames
 //   wf query --port P [flags]                evaluate against a running daemon
+//   wf stats --port P [--watch]              print a daemon's metrics snapshot
 //   wf proxy --port P --upstream H:P [flags] fault-injecting TCP proxy (chaos tests)
 //
 // Shared flags: --smoke, --out DIR, --threads N, --shards S,
 // --attacker NAME. The legacy bench_* binaries are thin shims over the
 // same registry, so `wf run exp1` and `bench_exp1_static` emit identical
 // CSVs.
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "eval/registry.hpp"
 #include "io/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/coordinator.hpp"
 #include "serve/fault.hpp"
@@ -39,6 +44,7 @@ struct CliOptions {
   int classes = 0;  // 0: first exp1 class count of the active scenario
   bool all = false;
   bool attacker_given = false;
+  bool out_given = false;
 
   // serve/query flags.
   std::string host = "127.0.0.1";
@@ -60,6 +66,11 @@ struct CliOptions {
   std::string fault_kind = "none";
   double fault_rate = 0.0;
   int fault_delay_ms = 100;
+
+  // Observability knobs.
+  int stats_interval_ms = 0;  // serve: periodic metrics log line; 0 disables
+  bool watch = false;         // wf stats: poll instead of one-shot
+  int interval_ms = 2000;     // wf stats --watch poll period
   long seed = 1;
   serve::BackendAddress upstream;
   bool upstream_given = false;
@@ -84,6 +95,7 @@ int usage(int code) {
       "  wf eval [flags]             reload --model and evaluate it on the same crawl\n"
       "  wf serve [flags]            daemon: load --model, answer query frames on TCP\n"
       "  wf query [flags]            evaluate the crawl against a running daemon\n"
+      "  wf stats [flags]            fetch and print a running daemon's metrics\n"
       "  wf proxy [flags]            fault-injecting TCP proxy for chaos testing\n"
       "  wf help                     this text\n"
       "\n"
@@ -103,6 +115,12 @@ int usage(int code) {
       "  --retries N        bounded-retry attempts for retryable failures (8)\n"
       "  --partial          coordinator: answer from live slices when backends\n"
       "                     are down, flagging the reply degraded (default: fail)\n"
+      "  --stats-interval-ms T  serve: log a metrics summary every T ms (0: off)\n"
+      "\n"
+      "stats flags (wf stats --port P):\n"
+      "  --watch            keep polling every --interval-ms until interrupted\n"
+      "  --interval-ms T    poll period for --watch in ms (default 2000)\n"
+      "  --out DIR          also write wf_stats.csv and bench_stats.json to DIR\n"
       "\n"
       "proxy flags (wf proxy --port P --upstream H:P):\n"
       "  --upstream H:P     where to forward accepted connections\n"
@@ -158,6 +176,7 @@ bool parse_flags(int argc, char** argv, int first, CliOptions& options) {
       const char* v = value(i, "--out");
       if (v == nullptr) return false;
       util::Env::override_results_dir(v);
+      options.out_given = true;
     } else if (arg == "--threads" || arg == "--shards") {
       // Same bounds as the WF_THREADS/WF_SHARDS env vars; a flag the user
       // typed gets an error instead of the env vars' silent fallback.
@@ -257,7 +276,7 @@ bool parse_flags(int argc, char** argv, int first, CliOptions& options) {
     } else if (arg == "--partial") {
       options.partial = true;
     } else if (arg == "--timeout-ms" || arg == "--idle-timeout-ms" ||
-               arg == "--fault-delay-ms") {
+               arg == "--fault-delay-ms" || arg == "--stats-interval-ms") {
       const char* v = value(i, arg.c_str());
       if (v == nullptr) return false;
       long parsed = 0;
@@ -269,9 +288,22 @@ bool parse_flags(int argc, char** argv, int first, CliOptions& options) {
         options.timeout_ms = static_cast<int>(parsed);
       } else if (arg == "--idle-timeout-ms") {
         options.idle_timeout_ms = static_cast<int>(parsed);
+      } else if (arg == "--stats-interval-ms") {
+        options.stats_interval_ms = static_cast<int>(parsed);
       } else {
         options.fault_delay_ms = static_cast<int>(parsed);
       }
+    } else if (arg == "--watch") {
+      options.watch = true;
+    } else if (arg == "--interval-ms") {
+      const char* v = value(i, "--interval-ms");
+      if (v == nullptr) return false;
+      long parsed = 0;
+      if (!parse_long(v, 1, 3600000, parsed)) {
+        std::cerr << "wf: --interval-ms must be an integer in [1, 3600000]\n";
+        return false;
+      }
+      options.interval_ms = static_cast<int>(parsed);
     } else if (arg == "--retries") {
       const char* v = value(i, "--retries");
       if (v == nullptr) return false;
@@ -516,6 +548,7 @@ int cmd_serve(const CliOptions& options) {
   config.max_batch = options.max_batch;
   config.request_timeout_ms = effective_timeout_ms(options);
   config.idle_timeout_ms = options.idle_timeout_ms;
+  config.stats_interval_ms = options.stats_interval_ms;
   serve::Server server(std::move(handler), config);
   server.start();
   if (options.slice_count > 1)
@@ -597,6 +630,51 @@ int cmd_query(const CliOptions& options) {
   return 0;
 }
 
+// One STAT roundtrip against a running daemon (or a --watch polling loop):
+// print the snapshot table, the recent spans when the daemon traced any,
+// and with --out also wf_stats.csv + bench_stats.json for CI to assert on.
+int cmd_stats(const CliOptions& options) {
+  if (options.port == 0) {
+    std::cerr << "wf: stats needs --port P (the daemon's listen port)\n";
+    return 1;
+  }
+  serve::ClientConfig client_config;
+  client_config.connect_retry_ms = 10000;
+  client_config.timeout_ms = effective_timeout_ms(options);
+  serve::Client client(options.host, static_cast<std::uint16_t>(options.port), client_config);
+  for (;;) {
+    std::vector<obs::SpanRecord> spans;
+    const obs::Snapshot snapshot = client.stats(&spans);
+    const util::Table table = obs::snapshot_table(snapshot);
+    table.print();
+    if (!spans.empty()) {
+      std::cout << "\nrecent spans (" << spans.size() << "):\n";
+      for (const obs::SpanRecord& span : spans)
+        std::cout << "  thread " << span.thread << " #" << span.sequence << " "
+                  << std::string(static_cast<std::size_t>(span.depth) * 2, ' ') << span.name
+                  << " "
+                  << util::Table::num(static_cast<double>(span.duration_us) / 1000.0, 3)
+                  << " ms\n";
+    }
+    if (options.out_given) {
+      const std::string csv = eval::results_dir() + "/wf_stats.csv";
+      table.write_csv(csv);
+      util::BenchReport report("stats");
+      report.param("host", options.host);
+      report.param("port", std::to_string(options.port));
+      obs::snapshot_report(snapshot, report);
+      report.write(eval::results_dir());
+      std::cout << "stats written to " << csv << "\n";
+    }
+    if (!options.watch) break;
+    // Paced polling between snapshots, not a failure-retry loop.
+    std::this_thread::sleep_for(  // wf-lint: allow(retry-policy)
+        std::chrono::milliseconds(options.interval_ms));
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 int cmd_proxy(const CliOptions& options) {
   if (!options.upstream_given) {
     std::cerr << "wf: proxy needs --upstream HOST:PORT\n";
@@ -635,6 +713,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(options);
     if (command == "serve") return cmd_serve(options);
     if (command == "query") return cmd_query(options);
+    if (command == "stats") return cmd_stats(options);
     if (command == "proxy") return cmd_proxy(options);
   } catch (const std::exception& e) {
     std::cerr << "wf: " << e.what() << "\n";

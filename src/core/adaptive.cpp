@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "io/serialize.hpp"
+#include "obs/trace.hpp"
 
 namespace wf::core {
 
@@ -38,12 +39,14 @@ std::vector<RankedLabel> AdaptiveFingerprinter::fingerprint(
 
 std::vector<std::vector<RankedLabel>> AdaptiveFingerprinter::fingerprint_batch(
     const data::Dataset& traces) const {
+  const obs::Span span("rank");
   return knn_.rank_batch(references_, model_.embed(traces.to_matrix()));
 }
 
 SliceScan AdaptiveFingerprinter::scan_slice(const data::Dataset& traces,
                                             std::size_t slice_index,
                                             std::size_t slice_count) const {
+  const obs::Span span("scan");
   return knn_.scan_slice(references_, model_.embed(traces.to_matrix()), slice_index,
                          slice_count);
 }

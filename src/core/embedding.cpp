@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -49,6 +50,7 @@ std::vector<float> EmbeddingModel::embed(std::span<const float> features) const 
 }
 
 nn::Matrix EmbeddingModel::embed(const nn::Matrix& batch) const {
+  const obs::Span span("embed");
   nn::Matrix out = net_.forward_batch(batch);
   util::global_pool().parallel_blocks(0, out.rows(), 64, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t r = lo; r < hi; ++r) normalize(out.row(r));
@@ -162,6 +164,7 @@ void EmbeddingModel::train_step_triplet(const nn::Matrix& x, double& loss_acc,
 TrainStats EmbeddingModel::train(data::PairGenerator& pairs) {
   if (pairs.dataset().feature_dim() != config_.input_dim())
     throw std::invalid_argument("EmbeddingModel::train: dataset width != config input_dim");
+  const obs::Span span("train");
   util::Stopwatch watch;
   TrainStats stats;
   stats.iterations = config_.train_iterations;

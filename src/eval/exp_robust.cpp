@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "data/build.hpp"
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/fault.hpp"
 #include "serve/server.hpp"
@@ -15,12 +16,6 @@
 namespace wf::eval {
 
 namespace {
-
-double percentile(const std::vector<double>& sorted_ms, double p) {
-  if (sorted_ms.empty()) return 0.0;
-  const std::size_t i = static_cast<std::size_t>(p * static_cast<double>(sorted_ms.size() - 1));
-  return sorted_ms[i];
-}
 
 bool same_rankings(const std::vector<core::RankedLabel>& a,
                    const std::vector<core::RankedLabel>& b) {
@@ -96,7 +91,9 @@ util::Table run_robust_serve(WikiScenario& scenario) {
 
       std::size_t requests = 0, ok = 0, timeouts = 0, backpressure = 0, protocol = 0,
                   other = 0, mismatches = 0;
-      std::vector<double> latencies_ms;
+      // Same exact-percentile contract as perf_serve: the port to
+      // obs::Histogram leaves every CSV value bit-identical.
+      obs::Histogram latency;
       while (requests < min_requests) {
         for (std::size_t begin = 0; begin < test.size(); begin += batch) {
           const std::size_t end = std::min(test.size(), begin + batch);
@@ -108,7 +105,7 @@ util::Table run_robust_serve(WikiScenario& scenario) {
           try {
             serve::ReplyMeta meta;
             const serve::Rankings part = client.query_until_accepted(frame, &meta);
-            latencies_ms.push_back(request.millis());
+            latency.record(request.millis());
             ++ok;
             if (!meta.degraded) {
               // The integrity invariant: answered means bit-identical.
@@ -138,14 +135,13 @@ util::Table run_robust_serve(WikiScenario& scenario) {
       }
       proxy.stop();
 
-      std::sort(latencies_ms.begin(), latencies_ms.end());
       table.add_row({serve::fault_kind_name(kind), util::Table::num(rate, 2),
                      std::to_string(requests), std::to_string(ok), std::to_string(timeouts),
                      std::to_string(backpressure), std::to_string(protocol),
                      std::to_string(other),
                      util::Table::pct(static_cast<double>(ok) / static_cast<double>(requests)),
-                     util::Table::num(percentile(latencies_ms, 0.50), 3),
-                     util::Table::num(percentile(latencies_ms, 0.99), 3),
+                     util::Table::num(latency.quantile(0.50), 3),
+                     util::Table::num(latency.quantile(0.99), 3),
                      std::to_string(mismatches)});
     }
   }

@@ -6,22 +6,13 @@
 #include <vector>
 
 #include "data/build.hpp"
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/coordinator.hpp"
 #include "serve/server.hpp"
 #include "util/env.hpp"
 
 namespace wf::eval {
-
-namespace {
-
-double percentile(std::vector<double> sorted_ms, double p) {
-  if (sorted_ms.empty()) return 0.0;
-  const std::size_t i = static_cast<std::size_t>(p * static_cast<double>(sorted_ms.size() - 1));
-  return sorted_ms[i];
-}
-
-}  // namespace
 
 util::Table run_perf_serve(WikiScenario& scenario) {
   const ScenarioConfig& cfg = scenario.config();
@@ -82,7 +73,9 @@ util::Table run_perf_serve(WikiScenario& scenario) {
 
     for (const std::size_t batch : batch_sizes) {
       serve::Client client(config.host, front_port, 1000);
-      std::vector<double> latencies_ms;
+      // obs::Histogram reproduces the old ad-hoc sorted-vector percentile
+      // math exactly (same index formula), so the CSV values are unchanged.
+      obs::Histogram latency;
       util::Stopwatch total;
       std::size_t queries = 0;
       while (queries < min_queries) {
@@ -93,17 +86,16 @@ util::Table run_perf_serve(WikiScenario& scenario) {
             frame.set_row(i - begin, test[i].features);
           util::Stopwatch request;
           client.query_until_accepted(frame);
-          latencies_ms.push_back(request.millis());
+          latency.record(request.millis());
           queries += end - begin;
         }
       }
       const double seconds = total.seconds();
-      std::sort(latencies_ms.begin(), latencies_ms.end());
       table.add_row({std::to_string(n_shards), std::to_string(batch),
-                     std::to_string(latencies_ms.size()), std::to_string(queries),
+                     std::to_string(latency.count()), std::to_string(queries),
                      util::Table::num(static_cast<double>(queries) / seconds, 1),
-                     util::Table::num(percentile(latencies_ms, 0.50), 3),
-                     util::Table::num(percentile(latencies_ms, 0.99), 3)});
+                     util::Table::num(latency.quantile(0.50), 3),
+                     util::Table::num(latency.quantile(0.99), 3)});
     }
     for (const std::unique_ptr<serve::Server>& server : servers) server->stop();
   }

@@ -1,0 +1,136 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "util/env.hpp"
+
+namespace wf::obs {
+
+namespace {
+
+// One ring per thread that ever opened a span. `depth` is touched only by
+// the owning thread; the ring slots are shared with readers under `mutex`.
+struct SpanRing {
+  std::uint64_t thread_ordinal = 0;
+  std::uint32_t depth = 0;
+
+  std::mutex mutex;
+  std::vector<SpanRecord> slots;  // grows to kSpanRingCapacity, then wraps
+  std::uint64_t next_sequence = 0;
+
+  void push(SpanRecord record) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    record.sequence = next_sequence++;
+    if (slots.size() < kSpanRingCapacity) {
+      slots.push_back(std::move(record));
+    } else {
+      slots[record.sequence % kSpanRingCapacity] = std::move(record);
+    }
+  }
+};
+
+// Rings outlive their threads (a thread may exit while a snapshot reader
+// is walking the directory), so the directory owns them for process life.
+struct RingDirectory {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<SpanRing>> rings;
+};
+
+RingDirectory& directory() {
+  static RingDirectory instance;
+  return instance;
+}
+
+SpanRing& local_ring() {
+  thread_local SpanRing* ring = [] {
+    auto owned = std::make_unique<SpanRing>();
+    SpanRing* raw = owned.get();
+    RingDirectory& dir = directory();
+    const std::lock_guard<std::mutex> lock(dir.mutex);
+    raw->thread_ordinal = dir.rings.size();
+    dir.rings.push_back(std::move(owned));
+    return raw;
+  }();
+  return *ring;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{util::Env::obs()};
+  return flag;
+}
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::uint64_t us_since_epoch(std::chrono::steady_clock::time_point t) {
+  const auto delta = t - process_epoch();
+  if (delta < std::chrono::steady_clock::duration::zero()) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(delta).count());
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { enabled_flag().store(on, std::memory_order_relaxed); }
+
+Span::Span(const char* name) {
+  if (!enabled()) return;
+  active_ = true;
+  name_ = name;
+  SpanRing& ring = local_ring();
+  depth_ = ring.depth++;
+  histogram_ = &Registry::global().histogram(std::string("span.") + name);
+  process_epoch();  // pin the epoch no later than the first span
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::chrono::steady_clock::time_point end = std::chrono::steady_clock::now();
+  SpanRing& ring = local_ring();
+  --ring.depth;
+  const double millis = std::chrono::duration<double, std::milli>(end - start_).count();
+  histogram_->record(millis);
+  SpanRecord record;
+  record.name = name_;
+  record.depth = depth_;
+  record.thread = ring.thread_ordinal;
+  record.start_us = us_since_epoch(start_);
+  record.duration_us = us_since_epoch(end) - record.start_us;
+  ring.push(std::move(record));
+}
+
+std::vector<SpanRecord> recent_spans() {
+  std::vector<SpanRecord> merged;
+  RingDirectory& dir = directory();
+  const std::lock_guard<std::mutex> dir_lock(dir.mutex);
+  for (const std::unique_ptr<SpanRing>& ring : dir.rings) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    merged.insert(merged.end(), ring->slots.begin(), ring->slots.end());
+  }
+  std::sort(merged.begin(), merged.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.thread != b.thread) return a.thread < b.thread;
+    return a.sequence < b.sequence;
+  });
+  return merged;
+}
+
+void clear_spans() {
+  RingDirectory& dir = directory();
+  const std::lock_guard<std::mutex> dir_lock(dir.mutex);
+  for (const std::unique_ptr<SpanRing>& ring : dir.rings) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    ring->slots.clear();
+    ring->next_sequence = 0;
+  }
+}
+
+}  // namespace wf::obs

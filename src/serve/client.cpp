@@ -107,6 +107,17 @@ Rankings Client::query_until_accepted(const nn::Matrix& features, ReplyMeta* met
   }
 }
 
+obs::Snapshot Client::stats(std::vector<obs::SpanRecord>* spans) {
+  ParsedFrame reply = roundtrip(encode_frame(kFrameStat), kFrameMetrics);
+  obs::Snapshot snapshot = read_snapshot(*reply.reader);
+  // Consume the optional SPNS trailer even when the caller does not ask for
+  // it, as with query()'s DGRD trailer.
+  std::vector<obs::SpanRecord> parsed = read_trailing_spans(reply);
+  if (spans) *spans = std::move(parsed);
+  io::detail::require_consumed(*reply.stream, reply.kind);
+  return snapshot;
+}
+
 void Client::stop_server() { roundtrip(encode_frame(kFrameStop), kFrameBye); }
 
 }  // namespace wf::serve

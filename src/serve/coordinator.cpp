@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/stopwatch.hpp"
+
 namespace wf::serve {
 
 namespace {
@@ -87,6 +89,17 @@ CoordinatorHandler::CoordinatorHandler(const std::vector<BackendAddress>& backen
   backends_.reserve(connected.size());
   for (auto& c : connected) backends_.push_back({c.address, std::move(c.client)});
 
+  obs::Registry& reg = obs::Registry::global();
+  scatter_ms_ = &reg.histogram("coord.scatter_ms");
+  degraded_total_ = &reg.counter("coord.degraded_total");
+  transitions_total_ = &reg.counter("coord.health_transitions_total");
+  reconnects_total_ = &reg.counter("coord.reconnects_total");
+  backends_down_ = &reg.gauge("coord.backends_down");
+  backend_transitions_.reserve(backends_.size());
+  for (std::size_t i = 0; i < backends_.size(); ++i)
+    backend_transitions_.push_back(
+        &reg.counter("coord.backend." + std::to_string(i) + ".transitions_total"));
+
   reconnect_thread_ = std::thread(&CoordinatorHandler::reconnect_loop, this);
 }
 
@@ -112,9 +125,21 @@ std::vector<BackendStatus> CoordinatorHandler::status() const {
   return out;
 }
 
+void CoordinatorHandler::set_health_locked(std::size_t i, BackendHealth health) {
+  if (backends_[i].health != health) {
+    transitions_total_->inc();
+    backend_transitions_[i]->inc();
+  }
+  backends_[i].health = health;
+  std::int64_t down = 0;
+  for (const Backend& b : backends_)
+    if (b.health == BackendHealth::down) ++down;
+  backends_down_->set(down);
+}
+
 void CoordinatorHandler::mark_success(std::size_t i) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  backends_[i].health = BackendHealth::up;
+  set_health_locked(i, BackendHealth::up);
   backends_[i].strikes = 0;
 }
 
@@ -127,7 +152,7 @@ void CoordinatorHandler::mark_failure(std::size_t i) {
     // Two strikes (two consecutive post-retry failures) take a backend out
     // of rotation: one flaky RPC should not cost its slice, but a dead peer
     // must stop charging every batch its full timeout.
-    b.health = b.strikes >= 2 ? BackendHealth::down : BackendHealth::suspect;
+    set_health_locked(i, b.strikes >= 2 ? BackendHealth::down : BackendHealth::suspect);
     went_down = b.health == BackendHealth::down;
   }
   if (went_down) reconnect_cv_.notify_all();
@@ -180,8 +205,9 @@ void CoordinatorHandler::reconnect_loop() {
     if (stopping_) return;
     if (ok) {
       backends_[target].client = std::move(client);
-      backends_[target].health = BackendHealth::up;
+      set_health_locked(target, BackendHealth::up);
       backends_[target].strikes = 0;
+      reconnects_total_->inc();
       backoff = Backoff(config_.reconnect);  // fresh schedule for the next outage
     } else {
       // Unbounded by attempt count — a down backend is retried for as long
@@ -199,6 +225,7 @@ RankReply CoordinatorHandler::rank(const nn::Matrix& queries) {
   // schedule. Down backends are skipped — queries fail fast (or degrade)
   // instead of re-paying the connect timeout every batch.
   const std::size_t n = backends_.size();
+  util::Stopwatch scatter_watch;
   struct Attempt {
     bool ok = false;
     bool skipped = false;
@@ -244,6 +271,7 @@ RankReply CoordinatorHandler::rank(const nn::Matrix& queries) {
     });
   }
   for (std::thread& t : threads) t.join();
+  scatter_ms_->record(scatter_watch.millis());
 
   // A non-retryable failure (malformed frame, model mismatch) is a bug, not
   // an outage: surface it even when partial answers are allowed.
@@ -298,6 +326,7 @@ RankReply CoordinatorHandler::rank(const nn::Matrix& queries) {
   reply.rankings = core::merge_slice_scans(info_.id_to_label, info_.knn_k,
                                            static_cast<std::size_t>(total), slices);
   reply.meta = {!full, full ? total : covered, total};
+  if (reply.meta.degraded) degraded_total_->inc();
   return reply;
 }
 

@@ -223,6 +223,84 @@ void write_reply_meta(io::Writer& out, const ReplyMeta& meta) {
   });
 }
 
+void write_snapshot(io::Writer& out, const obs::Snapshot& snapshot) {
+  io::write_section(out, "SNAP", [&](io::Writer& w) {
+    w.u64(snapshot.entries.size());
+    for (const obs::SnapshotEntry& entry : snapshot.entries) {
+      w.str(entry.name);
+      w.u8(static_cast<std::uint8_t>(entry.kind));
+      w.u64(entry.count);
+      w.f64(entry.value);
+      w.f64(entry.sum);
+      w.f64(entry.min);
+      w.f64(entry.max);
+      w.f64(entry.p50);
+      w.f64(entry.p90);
+      w.f64(entry.p99);
+      w.f64_vec(entry.bounds);
+      w.u64_vec(entry.buckets);
+    }
+  });
+}
+
+obs::Snapshot read_snapshot(io::Reader& in) {
+  return io::parse_section(in, "SNAP", [](io::Reader& r) {
+    obs::Snapshot snapshot;
+    snapshot.entries.resize(checked(r.u64(), kMaxEntries, "snapshot entries"));
+    for (obs::SnapshotEntry& entry : snapshot.entries) {
+      entry.name = r.str();
+      const std::uint8_t kind = r.u8();
+      if (kind > static_cast<std::uint8_t>(obs::InstrumentKind::histogram))
+        throw io::IoError("corrupt snapshot entry kind");
+      entry.kind = static_cast<obs::InstrumentKind>(kind);
+      entry.count = r.u64();
+      entry.value = r.f64();
+      entry.sum = r.f64();
+      entry.min = r.f64();
+      entry.max = r.f64();
+      entry.p50 = r.f64();
+      entry.p90 = r.f64();
+      entry.p99 = r.f64();
+      entry.bounds = r.f64_vec();
+      entry.buckets = r.u64_vec();
+    }
+    return snapshot;
+  });
+}
+
+void write_spans(io::Writer& out, const std::vector<obs::SpanRecord>& spans) {
+  io::write_section(out, "SPNS", [&](io::Writer& w) {
+    w.u64(spans.size());
+    for (const obs::SpanRecord& span : spans) {
+      w.str(span.name);
+      w.u32(span.depth);
+      w.u64(span.thread);
+      w.u64(span.sequence);
+      w.u64(span.start_us);
+      w.u64(span.duration_us);
+    }
+  });
+}
+
+std::vector<obs::SpanRecord> read_trailing_spans(ParsedFrame& frame) {
+  std::vector<obs::SpanRecord> spans;
+  if (frame.reader && has_more(*frame.reader)) {
+    spans = io::parse_section(*frame.reader, "SPNS", [](io::Reader& r) {
+      std::vector<obs::SpanRecord> parsed(checked(r.u64(), kMaxEntries, "span records"));
+      for (obs::SpanRecord& span : parsed) {
+        span.name = r.str();
+        span.depth = r.u32();
+        span.thread = r.u64();
+        span.sequence = r.u64();
+        span.start_us = r.u64();
+        span.duration_us = r.u64();
+      }
+      return parsed;
+    });
+  }
+  return spans;
+}
+
 ReplyMeta read_trailing_meta(ParsedFrame& frame) {
   ReplyMeta meta;
   if (frame.reader && has_more(*frame.reader)) {

@@ -9,6 +9,8 @@
 #include "data/dataset.hpp"
 #include "serve/client.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
 
 namespace wf::serve {
 
@@ -23,12 +25,6 @@ data::Dataset matrix_to_dataset(const nn::Matrix& m) {
     dataset.add({std::vector<float>(row.begin(), row.end()), 0});
   }
   return dataset;
-}
-
-std::string encode_error(bool retryable, const std::string& message,
-                         ErrorClass klass = ErrorClass::unknown) {
-  return encode_frame(kFrameError,
-                      [&](io::Writer& w) { write_error(w, {retryable, message, klass}); });
 }
 
 }  // namespace
@@ -80,6 +76,37 @@ Server::Server(std::shared_ptr<Handler> handler, ServerConfig config)
     : handler_(std::move(handler)), config_(config), queue_(config.queue_capacity) {
   if (!handler_) throw std::invalid_argument("Server: null handler");
   if (config_.max_batch == 0) config_.max_batch = 1;
+  obs::Registry& reg = obs::Registry::global();
+  requests_total_ = &reg.counter("serve.requests_total");
+  queries_total_ = &reg.counter("serve.queries_total");
+  batches_total_ = &reg.counter("serve.batches_total");
+  rejected_total_ = &reg.counter("serve.rejected_total");
+  timeouts_total_ = &reg.counter("serve.timeouts_total");
+  errors_total_ = &reg.counter("serve.errors_total");
+  for (std::uint8_t klass = 0; klass < 6; ++klass)
+    errors_by_class_[klass] = &reg.counter(
+        std::string("serve.errors.") + error_class_name(static_cast<ErrorClass>(klass)));
+  queue_depth_ = &reg.gauge("serve.queue_depth");
+  wave_batch_ = &reg.histogram("serve.wave_batch");
+  handle_helo_ = &reg.histogram("serve.handle_ms.helo");
+  handle_qryb_ = &reg.histogram("serve.handle_ms.qryb");
+  handle_scan_ = &reg.histogram("serve.handle_ms.scan");
+  handle_stat_ = &reg.histogram("serve.handle_ms.stat");
+}
+
+std::string Server::error_frame(bool retryable, const std::string& message, ErrorClass klass) {
+  errors_total_->inc();
+  errors_by_class_[static_cast<std::uint8_t>(klass)]->inc();
+  return encode_frame(kFrameError,
+                      [&](io::Writer& w) { write_error(w, {retryable, message, klass}); });
+}
+
+obs::Histogram* Server::handle_histogram(const std::string& kind) const {
+  if (kind == kFrameQuery) return handle_qryb_;
+  if (kind == kFrameScan) return handle_scan_;
+  if (kind == kFrameHello) return handle_helo_;
+  if (kind == kFrameStat) return handle_stat_;
+  return nullptr;
 }
 
 Server::~Server() { stop(); }
@@ -88,6 +115,26 @@ void Server::start() {
   listener_ = std::make_unique<Listener>(config_.host, config_.port);
   accept_thread_ = std::thread(&Server::accept_loop, this);
   worker_thread_ = std::thread(&Server::worker_loop, this);
+  if (config_.stats_interval_ms > 0) stats_thread_ = std::thread(&Server::stats_loop, this);
+}
+
+void Server::stats_loop() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (true) {
+    // Paced by the stop condition variable (not a bare sleep), so shutdown
+    // never waits out a stats interval.
+    if (stop_requested_cv_.wait_for(lock, std::chrono::milliseconds(config_.stats_interval_ms),
+                                    [&] { return stop_requested_ || stopped_; }))
+      return;
+    ServerStats current;
+    {
+      const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      current = stats_;
+    }
+    util::log_info() << "stats: requests=" << current.requests << " queries=" << current.queries
+                     << " batches=" << current.batches << " rejected=" << current.rejected
+                     << " timeouts=" << current.timeouts << " queue_depth=" << queue_.size();
+  }
 }
 
 std::uint16_t Server::port() const { return listener_ ? listener_->port() : 0; }
@@ -121,7 +168,7 @@ void Server::serve_connection(std::size_t slot) {
       // Unframed garbage (oversized length, mid-prefix EOF): nothing more
       // can be parsed, so report (best effort) and hang up.
       try {
-        send_frame(socket, encode_error(false, e.what(), ErrorClass::protocol));
+        send_frame(socket, error_frame(false, e.what(), ErrorClass::protocol));
       } catch (const io::IoError&) {
         // Best effort: the stream is already broken; the hangup below is
         // the real signal.
@@ -143,15 +190,16 @@ void Server::serve_connection(std::size_t slot) {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.timeouts;
       }
+      timeouts_total_->inc();
       try {
-        send_frame(socket, encode_error(true, e.what(), ErrorClass::timeout));
+        send_frame(socket, error_frame(true, e.what(), ErrorClass::timeout));
       } catch (const io::IoError&) {
         // Best effort: the peer may be gone; it retries off its own timeout.
       }
       return;
     } catch (const io::IoError& e) {
       try {
-        send_frame(socket, encode_error(false, e.what(), ErrorClass::protocol));
+        send_frame(socket, error_frame(false, e.what(), ErrorClass::protocol));
       } catch (const io::IoError&) {
         // Best effort: cannot report a broken stream over itself.
       }
@@ -161,10 +209,22 @@ void Server::serve_connection(std::size_t slot) {
     std::string reply;
     bool stop_after_reply = false;
     bool hangup_after_reply = false;
+    util::Stopwatch handle_watch;
     try {
       if (frame->kind == kFrameHello) {
         const ServerInfo info = handler_->info();
         reply = encode_frame(kFrameInfo, [&](io::Writer& w) { write_info(w, info); });
+      } else if (frame->kind == kFrameStat) {
+        // Answered inline: introspection must work even when the queue is
+        // full — that is exactly when an operator asks for it.
+        const obs::Snapshot snapshot = obs::Registry::global().snapshot();
+        const std::vector<obs::SpanRecord> spans = obs::recent_spans();
+        reply = encode_frame(kFrameMetrics, [&](io::Writer& w) {
+          write_snapshot(w, snapshot);
+          // Trailing SPNS rides only when tracing recorded something, so
+          // span-free snapshots parse under the pre-tracing wire too.
+          if (!spans.empty()) write_spans(w, spans);
+        });
       } else if (frame->kind == kFrameQuery || frame->kind == kFrameScan) {
         Request request;
         request.queries = read_features(*frame->reader);
@@ -177,6 +237,8 @@ void Server::serve_connection(std::size_t slot) {
               const std::lock_guard<std::mutex> lock(stats_mutex_);
               ++stats_.requests;
             }
+            requests_total_->inc();
+            queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
             // The request deadline also covers the queue wait + model call.
             // On a breach the late reply is abandoned (the worker fulfills
             // the promise into a dropped future) and the client gets a
@@ -184,26 +246,32 @@ void Server::serve_connection(std::size_t slot) {
             if (deadline.finite() &&
                 result.wait_for(std::chrono::milliseconds(deadline.poll_timeout_ms())) !=
                     std::future_status::ready) {
-              const std::lock_guard<std::mutex> lock(stats_mutex_);
-              ++stats_.timeouts;
-              reply = encode_error(true, "request timed out in the server queue",
-                                   ErrorClass::timeout);
+              {
+                const std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.timeouts;
+              }
+              timeouts_total_->inc();
+              reply = error_frame(true, "request timed out in the server queue",
+                                  ErrorClass::timeout);
             } else {
               reply = result.get();
             }
             break;
           }
           case RingQueue<Request>::PushOutcome::full: {
-            const std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.rejected;
-            reply = encode_error(true, "server at capacity; retry", ErrorClass::backpressure);
+            {
+              const std::lock_guard<std::mutex> lock(stats_mutex_);
+              ++stats_.rejected;
+            }
+            rejected_total_->inc();
+            reply = error_frame(true, "server at capacity; retry", ErrorClass::backpressure);
             break;
           }
           case RingQueue<Request>::PushOutcome::closed: {
             // Mid-shutdown requests get an explicit retryable ERRR instead
             // of a dropped connection; the stream then closes.
-            reply = encode_error(true, "server is shutting down; retry elsewhere",
-                                 ErrorClass::shutdown);
+            reply = error_frame(true, "server is shutting down; retry elsewhere",
+                                ErrorClass::shutdown);
             hangup_after_reply = true;
             break;
           }
@@ -212,13 +280,13 @@ void Server::serve_connection(std::size_t slot) {
         reply = encode_frame(kFrameBye);
         stop_after_reply = true;
       } else {
-        reply = encode_error(false, "unsupported request kind \"" + frame->kind + "\"",
-                             ErrorClass::protocol);
+        reply = error_frame(false, "unsupported request kind \"" + frame->kind + "\"",
+                            ErrorClass::protocol);
       }
     } catch (const io::IoError& e) {
-      reply = encode_error(false, e.what(), ErrorClass::protocol);
+      reply = error_frame(false, e.what(), ErrorClass::protocol);
     } catch (const std::exception& e) {
-      reply = encode_error(false, e.what());
+      reply = error_frame(false, e.what());
     }
 
     try {
@@ -226,6 +294,8 @@ void Server::serve_connection(std::size_t slot) {
     } catch (const io::IoError&) {
       return;  // peer went away (or stopped draining) mid-reply
     }
+    if (obs::Histogram* handle_ms = handle_histogram(frame->kind); handle_ms != nullptr)
+      handle_ms->record(handle_watch.millis());
     if (stop_after_reply) {
       request_stop();
       return;
@@ -240,7 +310,9 @@ void Server::worker_loop() {
     // previous batch was in flight coalesce here; process_wave re-chunks by
     // max_batch queries.
     std::vector<Request> wave = queue_.pop_wave(0);
+    queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
     if (wave.empty()) return;  // closed and drained
+    wave_batch_->record(static_cast<double>(wave.size()));
     process_wave(std::move(wave));
   }
 }
@@ -267,6 +339,22 @@ void Server::process_wave(std::vector<Request> wave) {
         batch.set_row(row++, wave[i].queries.row_span(r));
     WF_CHECK(row == rows, "process_wave: coalesced batch lost rows");
 
+    // Count the chunk BEFORE fulfilling any promise: a client that just
+    // received its reply may immediately ask for STAT, and the snapshot
+    // must already cover the queries that reply answered.
+    bool counted = false;
+    const auto count_chunk = [&] {
+      if (counted) return;
+      counted = true;
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.batches;
+        stats_.queries += rows;
+      }
+      batches_total_->inc();
+      queries_total_->inc(rows);
+    };
+
     // Requests whose promise is already fulfilled; the error paths below
     // must skip them — a second set_value would throw future_error out of
     // the worker thread and take the whole daemon down.
@@ -276,6 +364,7 @@ void Server::process_wave(std::vector<Request> wave) {
         const core::SliceScan scan = handler_->scan(batch);
         WF_CHECK(scan.candidates.size() == rows,
                  "process_wave: handler scanned a different query count than sent");
+        count_chunk();
         std::size_t offset = 0;
         for (std::size_t i = begin; i < end; ++i) {
           core::SliceScan part;
@@ -298,6 +387,7 @@ void Server::process_wave(std::vector<Request> wave) {
         const RankReply ranked = handler_->rank(batch);
         WF_CHECK(ranked.rankings.size() == rows,
                  "process_wave: handler ranked a different query count than sent");
+        count_chunk();
         std::size_t offset = 0;
         for (std::size_t i = begin; i < end; ++i) {
           const Rankings part(
@@ -318,17 +408,13 @@ void Server::process_wave(std::vector<Request> wave) {
       // A coordinator handler's classified failure (all backends down, …):
       // forward class and retryability to every still-unanswered request of
       // the chunk.
-      const std::string error = encode_error(e.retryable(), e.what(), e.klass());
+      count_chunk();
+      const std::string error = error_frame(e.retryable(), e.what(), e.klass());
       for (std::size_t i = delivered; i < end; ++i) wave[i].reply.set_value(error);
     } catch (const std::exception& e) {
-      const std::string error = encode_error(false, e.what());
+      count_chunk();
+      const std::string error = error_frame(false, e.what());
       for (std::size_t i = delivered; i < end; ++i) wave[i].reply.set_value(error);
-    }
-
-    {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.batches;
-      stats_.queries += rows;
     }
     begin = end;
   }
@@ -366,6 +452,7 @@ void Server::stop() {
   //      threads blocked waiting for the next request while leaving the
   //      write side intact, so every in-flight reply still reaches its
   //      client before the connection threads exit.
+  if (stats_thread_.joinable()) stats_thread_.join();  // woken by the notify above
   if (listener_) listener_->close();  // wakes the blocked accept()
   if (accept_thread_.joinable()) accept_thread_.join();
 

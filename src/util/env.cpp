@@ -19,6 +19,8 @@ struct Overrides {
   std::optional<std::size_t> shards;
   std::optional<std::string> results_dir;
   std::optional<std::size_t> serve_timeout_ms;
+  std::optional<bool> obs;
+  std::optional<std::string> log_level;
   std::mutex mutex;
 };
 
@@ -97,6 +99,42 @@ std::size_t Env::serve_timeout_ms() {
   return parse_count("WF_SERVE_TIMEOUT_MS", 3600000);
 }
 
+bool Env::obs() {
+  {
+    std::lock_guard<std::mutex> lock(overrides().mutex);
+    if (overrides().obs) return *overrides().obs;
+  }
+  return parse_flag(std::getenv("WF_OBS"));
+}
+
+std::string Env::log_level() {
+  std::string value;
+  {
+    std::lock_guard<std::mutex> lock(overrides().mutex);
+    if (overrides().log_level) value = *overrides().log_level;
+  }
+  if (value.empty()) {
+    const char* env = std::getenv("WF_LOG_LEVEL");
+    if (env != nullptr) value = env;
+  }
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  // Unknown spellings read as the default rather than warning: this is
+  // called from the log flush path itself, where emitting would recurse.
+  if (value != "debug" && value != "warn") return "info";
+  return value;
+}
+
+void Env::override_obs(bool obs) {
+  std::lock_guard<std::mutex> lock(overrides().mutex);
+  overrides().obs = obs;
+}
+
+void Env::override_log_level(std::string level) {
+  std::lock_guard<std::mutex> lock(overrides().mutex);
+  overrides().log_level = std::move(level);
+}
+
 void Env::override_serve_timeout_ms(std::size_t ms) {
   std::lock_guard<std::mutex> lock(overrides().mutex);
   overrides().serve_timeout_ms = ms;
@@ -130,7 +168,8 @@ void Env::log_effective() {
   log_info() << "settings: smoke=" << (smoke() ? "on" : "off") << " threads="
              << (threads == 0 ? "auto" : std::to_string(threads)) << " shards="
              << (shards == 0 ? "auto" : std::to_string(shards)) << " results_dir="
-             << results_dir();
+             << results_dir() << " obs=" << (obs() ? "on" : "off") << " log_level="
+             << log_level();
 }
 
 }  // namespace wf::util

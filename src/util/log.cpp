@@ -1,15 +1,52 @@
 #include "util/log.hpp"
 
 #include <iostream>
+#include <mutex>
+
+#include "util/env.hpp"
 
 namespace wf::util {
 
-LogLine::~LogLine() {
-  if (moved_from_) return;
-  std::cerr << "[wf " << level_ << "] " << stream_.str() << "\n";
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug:
+      return "debug";
+    case LogLevel::info:
+      return "info";
+    case LogLevel::warn:
+      return "warn";
+  }
+  return "info";
 }
 
-LogLine log_info() { return LogLine("info"); }
-LogLine log_warn() { return LogLine("warn"); }
+std::mutex& log_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  const std::string level = Env::log_level();
+  if (level == "debug") return LogLevel::debug;
+  if (level == "warn") return LogLevel::warn;
+  return LogLevel::info;
+}
+
+LogLine::~LogLine() {
+  if (moved_from_) return;
+  if (static_cast<int>(level_) < static_cast<int>(log_threshold())) return;
+  // Build the full line first, then emit under the mutex: concurrent log
+  // lines serialize whole, never character-interleaved.
+  const std::string line = stream_.str();
+  const std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << "[wf " << level_name(level_) << "] " << line << "\n";
+}
+
+LogLine log_debug() { return LogLine(LogLevel::debug); }
+LogLine log_info() { return LogLine(LogLevel::info); }
+LogLine log_warn() { return LogLine(LogLevel::warn); }
 
 }  // namespace wf::util

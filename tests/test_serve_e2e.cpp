@@ -14,6 +14,7 @@
 #include "data/build.hpp"
 #include "data/splits.hpp"
 #include "netsim/browser.hpp"
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/coordinator.hpp"
 #include "serve/server.hpp"
@@ -114,6 +115,26 @@ int main() {
     for (std::thread& t : clients) t.join();
     for (std::size_t i = 0; i < test.size(); ++i) CHECK(ok[i]);
     CHECK(server.stats().requests >= test.size());
+
+    // Live introspection over the wire: a STAT roundtrip returns the global
+    // metrics snapshot. The registry is process-wide (shared by every server
+    // in this binary), so assert lower bounds, not exact counts.
+    {
+      const obs::Snapshot live = client.stats();
+      const obs::SnapshotEntry* requests = live.find("serve.requests_total");
+      CHECK(requests != nullptr && requests->count >= test.size());
+      const obs::SnapshotEntry* queries = live.find("serve.queries_total");
+      CHECK(queries != nullptr && queries->count >= test.size() * 4);
+      const obs::SnapshotEntry* qryb_ms = live.find("serve.handle_ms.qryb");
+      CHECK(qryb_ms != nullptr && qryb_ms->kind == obs::InstrumentKind::histogram);
+      CHECK(qryb_ms->count >= test.size());
+      CHECK(live.find("serve.queue_depth") != nullptr);
+      // The STAT handler itself is metered: a second snapshot has seen at
+      // least the first roundtrip's handle time.
+      const obs::Snapshot again = client.stats();
+      const obs::SnapshotEntry* stat_ms = again.find("serve.handle_ms.stat");
+      CHECK(stat_ms != nullptr && stat_ms->count >= 1);
+    }
 
     // Unsupported/garbage frames answer ERRR instead of crashing.
     {

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/frame.hpp"
 #include "serve/net.hpp"
 #include "serve/queue.hpp"
@@ -183,6 +185,99 @@ void test_wire_v2_extensions() {
   io::detail::require_consumed(*frame.stream, frame.kind);
 }
 
+// The live-introspection frames: STAT (body-less request) and METR (a
+// metrics snapshot plus an optional SPNS span trailer, same trailing-bytes
+// discipline as DGRD). Every byte of the reply must also survive the
+// truncation fuzz.
+void test_stat_metrics_frames() {
+  // STAT parses to just its kind, like STOP/HELO.
+  serve::ParsedFrame frame = serve::parse_frame(payload_of(serve::encode_frame(serve::kFrameStat)));
+  CHECK(frame.kind == serve::kFrameStat);
+
+  obs::Registry registry;
+  registry.counter("serve.requests_total").inc(42);
+  registry.gauge("serve.queue_depth").set(-3);
+  obs::Histogram& hist = registry.histogram("serve.handle_ms.QRYB");
+  hist.record(0.5);
+  hist.record(2.25);
+  hist.record(120.0);
+  const obs::Snapshot snapshot = registry.snapshot();
+
+  std::vector<obs::SpanRecord> spans;
+  spans.push_back({"embed", 1, 7, 3, 1000, 250});
+  spans.push_back({"rank", 0, 7, 4, 1300, 900});
+
+  // Full reply: SNAP + SPNS, every field round-trips.
+  const std::string with_spans = payload_of(serve::encode_frame(
+      serve::kFrameMetrics, [&](io::Writer& w) {
+        serve::write_snapshot(w, snapshot);
+        serve::write_spans(w, spans);
+      }));
+  frame = serve::parse_frame(with_spans);
+  CHECK(frame.kind == serve::kFrameMetrics);
+  const obs::Snapshot snap_back = serve::read_snapshot(*frame.reader);
+  CHECK(snap_back.entries.size() == snapshot.entries.size());
+  for (std::size_t i = 0; i < snapshot.entries.size(); ++i) {
+    const obs::SnapshotEntry& a = snapshot.entries[i];
+    const obs::SnapshotEntry& b = snap_back.entries[i];
+    CHECK(a.name == b.name && a.kind == b.kind && a.count == b.count);
+    CHECK(a.value == b.value && a.sum == b.sum && a.min == b.min && a.max == b.max);
+    CHECK(a.p50 == b.p50 && a.p90 == b.p90 && a.p99 == b.p99);
+    CHECK(a.bounds == b.bounds && a.buckets == b.buckets);
+  }
+  const std::vector<obs::SpanRecord> spans_back = serve::read_trailing_spans(frame);
+  CHECK(spans_back.size() == 2);
+  CHECK(spans_back[0].name == "embed" && spans_back[0].depth == 1 &&
+        spans_back[0].thread == 7 && spans_back[0].sequence == 3 &&
+        spans_back[0].start_us == 1000 && spans_back[0].duration_us == 250);
+  CHECK(spans_back[1].name == "rank" && spans_back[1].duration_us == 900);
+  io::detail::require_consumed(*frame.stream, frame.kind);
+
+  // No SPNS trailer (the byte-stable no-spans encoding): reads as empty,
+  // payload fully consumed.
+  const std::string without_spans = payload_of(serve::encode_frame(
+      serve::kFrameMetrics, [&](io::Writer& w) { serve::write_snapshot(w, snapshot); }));
+  frame = serve::parse_frame(without_spans);
+  CHECK(serve::read_snapshot(*frame.reader).entries.size() == snapshot.entries.size());
+  CHECK(serve::read_trailing_spans(frame).empty());
+  io::detail::require_consumed(*frame.stream, frame.kind);
+
+  // Truncation at every byte boundary of the full reply: a clean IoError —
+  // except the one prefix that IS the valid no-trailer encoding (the
+  // tolerated old-peer frame without SPNS), which must parse clean.
+  for (std::size_t cut = 0; cut < with_spans.size(); ++cut) {
+    const std::string prefix = with_spans.substr(0, cut);
+    bool clean = false;
+    try {
+      serve::ParsedFrame truncated = serve::parse_frame(prefix);
+      serve::read_snapshot(*truncated.reader);
+      serve::read_trailing_spans(truncated);
+      io::detail::require_consumed(*truncated.stream, truncated.kind);
+      clean = true;
+    } catch (const io::IoError&) {
+    }
+    CHECK(clean == (prefix == without_spans));
+  }
+
+  // A snapshot entry whose kind byte is from the future is corruption.
+  const std::string bad_kind = payload_of(serve::encode_frame(
+      serve::kFrameMetrics, [&](io::Writer& w) {
+        io::write_section(w, "SNAP", [](io::Writer& s) {
+          s.u64(1);
+          s.str("x");
+          s.u8(99);  // not counter/gauge/histogram
+          s.u64(0);
+          for (int i = 0; i < 7; ++i) s.f64(0.0);
+          s.f64_vec({});
+          s.u64_vec({});
+        });
+      }));
+  CHECK(raises_io_error([&] {
+    serve::ParsedFrame bad = serve::parse_frame(bad_kind);
+    serve::read_snapshot(*bad.reader);
+  }));
+}
+
 void test_malformed_payloads() {
   nn::Matrix features(2, 2);
   const std::string good = payload_of(serve::encode_frame(
@@ -324,6 +419,7 @@ void test_ring_queue() {
 int main() {
   test_roundtrips();
   test_wire_v2_extensions();
+  test_stat_metrics_frames();
   test_malformed_payloads();
   test_socket_framing();
   test_ring_queue();

@@ -1,0 +1,13 @@
+// Seeded violation: ad-hoc monotonic-clock timing. Raw steady_clock reads
+// scattered through the pipeline make latency accounting unauditable and
+// invite accidental switches to non-monotonic sources; all timing flows
+// through util::Stopwatch, serve::Deadline or wf::obs spans.
+// wf-lint-path: src/eval/ad_hoc_timer.cpp
+// wf-lint-expect: clock-discipline
+#include <chrono>
+
+double measure_once() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}

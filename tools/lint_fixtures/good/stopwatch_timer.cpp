@@ -1,0 +1,10 @@
+// Clean counterpart to raw_steady_clock.cpp: timing through util::Stopwatch,
+// one of the three blessed steady_clock homes (with serve::Deadline and the
+// wf::obs span tracer), keeps the clock discipline auditable.
+// wf-lint-path: src/eval/stopwatch_timer.cpp
+#include "util/stopwatch.hpp"
+
+double measure_once() {
+  wf::util::Stopwatch watch;
+  return watch.millis();
+}

@@ -13,6 +13,8 @@
 //                       src/serve/net.cpp, behind Deadline-aware wrappers
 //   retry-policy        every sleep-paced loop runs on serve::Backoff /
 //                       RetryPolicy, never an ad-hoc spin
+//   clock-discipline    monotonic-clock reads live only in util::Stopwatch,
+//                       serve::Deadline (serve/net) and wf::obs
 //   swallowed-error     no empty catch block without an explanatory comment
 //                       (the "ignored write_csv/save failure" bug class)
 //   unsafe-libc         banned unsafe/locale-dependent libc calls
@@ -73,6 +75,8 @@ const std::vector<RuleInfo> kRules = {
     {"unordered-iteration", "unordered-container iteration in a serialization/CSV/wire path"},
     {"socket-deadline", "raw blocking socket call outside the Deadline wrappers in serve/net.cpp"},
     {"retry-policy", "sleep-paced loop without serve::Backoff/RetryPolicy pacing"},
+    {"clock-discipline",
+     "raw monotonic-clock read outside util::Stopwatch, serve::Deadline and wf::obs"},
     {"swallowed-error", "empty catch block without an explanatory comment"},
     {"unsafe-libc", "banned unsafe libc call (sprintf, strcpy, atoi, strtok, ...)"},
     {"assert-macro", "raw assert(); use WF_CHECK/WF_DCHECK from util/check.hpp"},
@@ -311,6 +315,24 @@ void rule_retry_policy(const SourceFile& f, std::vector<Finding>& findings) {
   }
 }
 
+// --- clock-discipline -------------------------------------------------------
+
+void rule_clock_discipline(const SourceFile& f, std::vector<Finding>& findings) {
+  if (!in_library(f.display_path)) return;  // tests/benches may time directly
+  // The blessed homes of monotonic-clock reads: the Stopwatch, the socket
+  // Deadline machinery (serve/net) and the obs span tracer. Everyone else
+  // measures through those wrappers, so timing code stays auditable in one
+  // place and never silently switches clock sources.
+  if (path_contains(f.display_path, "util/stopwatch.hpp") ||
+      path_contains(f.display_path, "serve/net") || path_contains(f.display_path, "/obs/"))
+    return;
+  static const std::regex re(R"(\bsteady_clock\b|\bhigh_resolution_clock\b)");
+  match_lines(f, re, "clock-discipline",
+              "raw monotonic-clock reads belong in util::Stopwatch, serve::Deadline "
+              "(serve/net) or wf::obs spans; time through those wrappers",
+              findings);
+}
+
 // --- swallowed-error --------------------------------------------------------
 
 void rule_swallowed_error(const SourceFile& f, std::vector<Finding>& findings) {
@@ -395,6 +417,7 @@ std::vector<Finding> lint_file(const SourceFile& f) {
   rule_unordered_iteration(f, findings);
   rule_socket_deadline(f, findings);
   rule_retry_policy(f, findings);
+  rule_clock_discipline(f, findings);
   rule_swallowed_error(f, findings);
   rule_unsafe_libc(f, findings);
   rule_assert_macro(f, findings);
