@@ -12,6 +12,7 @@
 #include "core/adaptive.hpp"
 #include "data/pairs.hpp"
 #include "eval/scenario.hpp"
+#include "nn/simd.hpp"
 #include "trace/defense.hpp"
 #include "util/thread_pool.hpp"
 
@@ -241,6 +242,64 @@ BENCHMARK(BM_KnnQueryScalarSharded)
     ->Args({100000, 2})
     ->Args({100000, 4})
     ->Args({100000, 8});
+
+// The hot dot-product kernel under each SIMD mode the machine supports
+// (wf::nn runtime dispatch): identical eight-lane operation order, so the
+// modes differ in speed only — the throughput ratio here is the entire
+// WF_SIMD win. Skipped (not failed) for modes this CPU cannot run.
+void BM_SimdDot(benchmark::State& state) {
+  const auto mode = static_cast<nn::SimdMode>(state.range(0));
+  if (!nn::simd_supported(mode)) {
+    state.SkipWithError("SIMD mode not supported on this CPU");
+    return;
+  }
+  const std::size_t dim = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(23);
+  const std::vector<float> a = random_unit_row(rng, dim);
+  const std::vector<float> b = random_unit_row(rng, dim);
+  const nn::detail::DotFn kernel = nn::detail::dot_kernel(mode);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel(a.data(), b.data(), dim));
+  }
+  state.SetLabel(nn::simd_mode_name(mode));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_SimdDot)
+    ->Args({static_cast<int>(nn::SimdMode::kScalar), 64})
+    ->Args({static_cast<int>(nn::SimdMode::kScalar), 512})
+    ->Args({static_cast<int>(nn::SimdMode::kAvx2), 64})
+    ->Args({static_cast<int>(nn::SimdMode::kAvx2), 512})
+    ->Args({static_cast<int>(nn::SimdMode::kNeon), 64})
+    ->Args({static_cast<int>(nn::SimdMode::kNeon), 512});
+
+// The batched k-NN scan under each supported SIMD mode: the GEMM tile is
+// where the kernel above actually spends its cycles in production.
+void BM_KnnQueryBatchSimd(benchmark::State& state) {
+  const auto mode = static_cast<nn::SimdMode>(state.range(0));
+  if (!nn::simd_supported(mode)) {
+    state.SkipWithError("SIMD mode not supported on this CPU");
+    return;
+  }
+  const nn::SimdMode previous = nn::simd_mode();
+  nn::set_simd_mode(mode);
+  util::Rng rng(17);
+  const std::size_t dim = 32;
+  const core::ReferenceSet refs = synthetic_refs(10000, dim, rng);
+  const core::KnnClassifier knn(50);
+  const nn::Matrix queries = random_unit_queries(256, dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.rank_batch(refs, queries));
+  }
+  state.SetLabel(nn::simd_mode_name(mode));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(queries.rows()));
+  nn::set_simd_mode(previous);
+}
+BENCHMARK(BM_KnnQueryBatchSimd)
+    ->Arg(static_cast<int>(nn::SimdMode::kScalar))
+    ->Arg(static_cast<int>(nn::SimdMode::kAvx2))
+    ->Arg(static_cast<int>(nn::SimdMode::kNeon));
 
 // Crawling with an explicit pool of 1 vs N threads (identical corpora).
 void BM_CollectCaptures(benchmark::State& state) {

@@ -1,0 +1,6 @@
+// Thin shim kept for CI and scripts: dispatches through the
+// ExperimentRegistry, so this binary and `wf run perf_million` emit
+// identical output. The experiment body lives in src/eval/registry.cpp.
+#include "eval/registry.hpp"
+
+int main() { return wf::eval::run_legacy("bench_perf_million"); }

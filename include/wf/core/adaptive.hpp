@@ -10,6 +10,7 @@
 #include "core/knn.hpp"
 #include "core/sharded_reference_set.hpp"
 #include "data/splits.hpp"
+#include "index/ivf.hpp"
 #include "trace/sequence.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -35,6 +36,14 @@ class AdaptiveFingerprinter final : public Attacker {
   // Placeholder state for Attacker::load / io::load_attacker (single shard,
   // default config; everything is replaced by load_body).
   AdaptiveFingerprinter() : AdaptiveFingerprinter(EmbeddingConfig{}, 40, 1) {}
+
+  // The IVF member is a unique_ptr, so the copies clone() relies on need a
+  // deep-copying pair; everything else is memberwise.
+  AdaptiveFingerprinter(const AdaptiveFingerprinter& other);
+  AdaptiveFingerprinter& operator=(const AdaptiveFingerprinter& other);
+  AdaptiveFingerprinter(AdaptiveFingerprinter&&) = default;
+  AdaptiveFingerprinter& operator=(AdaptiveFingerprinter&&) = default;
+  ~AdaptiveFingerprinter() override = default;
 
   TrainStats provision(const data::Dataset& train,
                        data::PairStrategy strategy = data::PairStrategy::kRandom);
@@ -70,7 +79,7 @@ class AdaptiveFingerprinter final : public Attacker {
   std::vector<std::vector<RankedLabel>> fingerprint_batch(
       const data::Dataset& traces) const override;
   void adapt(int label, const data::Dataset& fresh) override { adapt_class(label, fresh); }
-  std::vector<int> target_classes() const override { return references_.classes(); }
+  std::vector<int> target_classes() const override;
   std::unique_ptr<Attacker> clone() const override {
     return std::make_unique<AdaptiveFingerprinter>(*this);
   }
@@ -81,11 +90,34 @@ class AdaptiveFingerprinter final : public Attacker {
   const EmbeddingModel& model() const { return model_; }
   const KnnClassifier& classifier() const { return knn_; }
 
+  // --- wf::index routing ----------------------------------------------------
+  // The store every query path (fingerprint, fingerprint_batch, scan_slice,
+  // target_classes) actually scans: the external store if one was attached,
+  // else the built IVF index, else the exact sharded set. references_ stays
+  // authoritative for save/load either way.
+  const ReferenceStore& store() const;
+  // Cluster the current reference set into an IVF index and route queries
+  // through it. initialize() re-buckets the index; adapt_class() mirrors its
+  // churn into it (append + compact + maybe_rebuild).
+  void build_index(const index::IvfConfig& config);
+  void clear_index() { ivf_.reset(); }
+  const index::IvfReferenceStore* ivf_index() const { return ivf_.get(); }
+  // Attach an external read-only store (`wf serve --index`: an mmap-backed
+  // index::MappedIndex). Queries scan it instead of references_; adaptation
+  // keeps mutating references_/the IVF index and does NOT reach the attached
+  // store — compact with `wf index rebuild` and reopen to pick up churn.
+  void set_store(std::shared_ptr<const ReferenceStore> store) {
+    store_override_ = std::move(store);
+  }
+  void clear_store() { store_override_.reset(); }
+
  private:
   EmbeddingModel model_;
   std::size_t n_shards_;
   ShardedReferenceSet references_;
   KnnClassifier knn_;
+  std::unique_ptr<index::IvfReferenceStore> ivf_;
+  std::shared_ptr<const ReferenceStore> store_override_;
 };
 
 }  // namespace wf::core

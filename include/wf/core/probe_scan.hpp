@@ -1,0 +1,64 @@
+#pragma once
+
+// Shared scan schedule for pruned (IVF-style) reference stores, used by the
+// k-NN and open-world kernels. One tile of queries is turned into a
+// (shard, query) work list grouped by shard, so each probed shard's rows are
+// streamed once per tile through a single GEMM over exactly the queries that
+// probe it — the pruned counterpart of the dense tile x shard loop.
+//
+// Determinism: shards are visited in ascending index order and queries in
+// ascending tile order within a shard. The downstream candidate merges are
+// order-independent anyway (unique (dist, insertion-id) keys), so pruning
+// with a probe list covering all shards stays bit-identical to the
+// exhaustive scan.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/reference_store.hpp"
+#include "nn/matrix.hpp"
+
+namespace wf::core::detail {
+
+// Calls scan(shard_index, shard_view, tile_local_query, dots_row) for every
+// (probed shard, query) pair of the tile, where dots_row[j] = <query, row j>
+// over the shard's rows. `slice_count` > 1 restricts the schedule to shards
+// s ≡ slice_index (mod slice_count), mirroring the exhaustive slice scan.
+template <typename Scan>
+void scan_pruned_tile(const ReferenceStore& refs, const float* queries, std::size_t rows,
+                      std::size_t dim, std::size_t slice_index, std::size_t slice_count,
+                      Scan&& scan) {
+  thread_local std::vector<std::size_t> probes;
+  thread_local std::vector<std::pair<std::size_t, std::uint32_t>> pairs;
+  thread_local std::vector<float> gathered;
+  thread_local std::vector<float> dots;
+  pairs.clear();
+  for (std::size_t q = 0; q < rows; ++q) {
+    refs.probe_shards({queries + q * dim, dim}, probes);
+    for (const std::size_t s : probes)
+      if (s % slice_count == slice_index) pairs.emplace_back(s, static_cast<std::uint32_t>(q));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  for (std::size_t lo = 0; lo < pairs.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < pairs.size() && pairs[hi].first == pairs[lo].first) ++hi;
+    const ShardView shard = refs.shard_view(pairs[lo].first);
+    if (shard.rows > 0) {
+      const std::size_t group = hi - lo;
+      gathered.resize(group * dim);
+      for (std::size_t g = 0; g < group; ++g)
+        std::copy_n(queries + pairs[lo + g].second * dim, dim, gathered.data() + g * dim);
+      dots.resize(group * shard.rows);
+      nn::gemm_nt_serial(gathered.data(), group, shard.data, shard.rows, dim, dots.data());
+      for (std::size_t g = 0; g < group; ++g)
+        scan(pairs[lo + g].first, shard, static_cast<std::size_t>(pairs[lo + g].second),
+             dots.data() + g * shard.rows);
+    }
+    lo = hi;
+  }
+}
+
+}  // namespace wf::core::detail

@@ -8,6 +8,7 @@
 
 #include "core/reference_store.hpp"
 #include "nn/matrix.hpp"
+#include "util/aligned.hpp"
 
 namespace wf::core {
 
@@ -110,7 +111,7 @@ class ReferenceSet : public ReferenceStore {
   }
 
   std::size_t dim_ = 0;
-  std::vector<float> data_;  // row-major, size() x dim_
+  util::AlignedVector<float> data_;  // row-major, size() x dim_ (64-byte aligned)
   std::vector<int> labels_;
   std::vector<double> sq_norms_;
   std::vector<int> class_ids_;               // per row, dense in [0, n_class_ids)

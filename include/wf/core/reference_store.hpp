@@ -2,6 +2,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 namespace wf::core {
 
@@ -36,6 +38,20 @@ class ReferenceStore {
   // Dense global class-id space shared by every shard's class_ids table.
   virtual std::size_t n_class_ids() const = 0;
   virtual int label_of_id(std::size_t id) const = 0;
+
+  // Query-adaptive probing (wf::index IVF stores). A pruned store picks the
+  // shards worth scanning per query instead of being scanned exhaustively;
+  // the kernels route every query through probe_shards() when pruned() is
+  // true. probe_shards must append distinct shard indices (a repeat would
+  // double-count votes) deterministically for a given query. The default —
+  // all shards, ascending — makes an exhaustive store answer correctly even
+  // if a caller probes it anyway.
+  virtual bool pruned() const { return false; }
+  virtual void probe_shards(std::span<const float> query, std::vector<std::size_t>& out) const {
+    (void)query;
+    out.clear();
+    for (std::size_t s = 0; s < shard_count(); ++s) out.push_back(s);
+  }
 };
 
 }  // namespace wf::core

@@ -7,6 +7,7 @@
 
 #include "core/reference_store.hpp"
 #include "nn/matrix.hpp"
+#include "util/aligned.hpp"
 
 namespace wf::core {
 
@@ -55,7 +56,7 @@ class ShardedReferenceSet final : public ReferenceStore {
   // these verbatim — including row ids and the dense class-id space —
   // reproduces every ranking bit-identically, merge tie-breaks included.
   struct ShardTables {
-    std::vector<float> data;  // rows x dim, row-major
+    util::AlignedVector<float> data;  // rows x dim, row-major
     std::vector<int> labels;
     std::vector<double> sq_norms;
     std::vector<int> class_ids;
@@ -73,7 +74,9 @@ class ShardedReferenceSet final : public ReferenceStore {
 
  private:
   struct Shard {
-    std::vector<float> data;  // labels.size() x dim_, row-major
+    // 64-byte aligned so the SIMD distance kernels can tile straight off
+    // the shard base (util::kSimdAlignment, like nn::Matrix).
+    util::AlignedVector<float> data;  // labels.size() x dim_, row-major
     std::vector<int> labels;
     std::vector<double> sq_norms;
     std::vector<int> class_ids;          // dense global id per row

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "util/table.hpp"
+
+namespace wf::eval {
+
+// The million-reference regime (wf::index): recall-vs-speedup sweep of the
+// IVF-pruned scan over cluster count C x probe count P x SIMD mode, against
+// the exact sharded scan as baseline. Uses a synthetic clustered-gaussian
+// corpus (seeded, no crawl) so reference counts far beyond the simulator's
+// reach are cheap to generate. Writes results/perf_million.csv with the
+// pinned header Refs,Clusters,Probes,Simd,QPS,Speedup,Recall10.
+util::Table run_million_experiment();
+
+}  // namespace wf::eval

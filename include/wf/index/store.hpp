@@ -1,0 +1,165 @@
+#pragma once
+
+// On-disk home of an IvfReferenceStore: a fixed-layout, versioned,
+// mmap-friendly base store plus a sidecar append journal, compacted by
+// `wf index rebuild` — the mapstore pattern (base + journal + rebuild)
+// applied to adapt's swap-references churn.
+//
+// Base file ("WFIO" | format v1 | "IVFX" | index layout v1):
+//
+//   offset 16: u64 dim | u64 clusters | u64 rows | u64 next_row_id
+//            | u64 n_class_ids | u64 default_probes | u64 kmeans_seed
+//            | u64 kmeans_iters | u64 sample_per_cluster
+//            | f64 rebuild_churn | u64 file_bytes            (header = 104 B)
+//   then, each 64-byte aligned, little-endian, cluster-major:
+//     u64 cluster_rows[clusters]
+//     i32 id_to_label [n_class_ids]
+//     f32 centroids   [clusters x dim]
+//     f32 data        [rows x dim]
+//     f64 sq_norms    [rows]
+//     i32 class_ids   [rows]
+//     u64 row_ids     [rows]
+//
+// `file_bytes` pins the total size, so truncation is detected before any
+// array is touched. The arrays are exactly the in-memory cell tables, which
+// is what makes open O(1) in the data: MappedIndex points ShardViews
+// straight into the mapping (only the small id tables are validated).
+//
+// Journal ("<base>.journal", "WFIO" | v1 | "IVFJ" | layout v1 | u64 dim |
+// u64 clusters, then records): u8 kind 1 = add {u64 cluster, i32 label,
+// u64 row_id, f64 sq_norm, f32 embedding[dim]}, u8 kind 2 = remove-class
+// {i32 label}. Appends replay as in-memory tail cells at open; a journal
+// holding removals cannot be masked onto a read-only mapping, so that case
+// degrades to a full in-memory load (open_index logs it) until the next
+// rebuild.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "index/ivf.hpp"
+#include "io/mmap.hpp"
+
+namespace wf::index {
+
+inline constexpr std::uint32_t kIndexLayoutVersion = 1;
+inline constexpr std::uint32_t kJournalLayoutVersion = 1;
+
+// Writes `store` to `path` in the base-store layout above (no journal).
+void write_index_file(const std::string& path, const IvfReferenceStore& store);
+
+// Full in-memory load: base store + ordered journal replay (adds and
+// removals). The only path that honours remove-class records.
+IvfReferenceStore load_index(const std::string& path);
+
+// The serving entry point: mmap the base store, replay journal appends as
+// tail cells, or fall back to load_index() when the journal holds
+// removals. `probes` overrides the file's default when nonzero.
+std::unique_ptr<core::ReferenceStore> open_index(const std::string& path,
+                                                 std::size_t probes = 0);
+
+// Re-clusters base + journal and atomically replaces `path` (tmp + rename),
+// deleting the journal. Returns the compacted row count.
+std::size_t rebuild_index_file(const std::string& path);
+
+// Sidecar-journal appender: records churn against an existing base store
+// without rewriting it. Cluster assignment uses the base centroids via the
+// same kernel as the in-memory store, and row ids continue the sequence
+// past any previously journaled adds, so replay reproduces exactly what an
+// in-memory store mutated the same way would hold.
+class IndexJournalWriter {
+ public:
+  explicit IndexJournalWriter(const std::string& index_path);
+
+  void add(std::span<const float> embedding, int label);
+  void remove_class(int label);
+
+  const std::string& journal_path() const { return journal_path_; }
+
+ private:
+  void append(const std::string& record);
+
+  std::string journal_path_;
+  std::size_t dim_ = 0;
+  util::AlignedVector<float> centroids_;
+  std::vector<double> centroid_norms_;
+  std::uint64_t next_row_id_ = 0;
+};
+
+// Everything `wf index info` prints, readable without loading the data.
+struct IndexInfo {
+  std::size_t dim = 0;
+  std::size_t clusters = 0;
+  std::size_t rows = 0;
+  std::size_t n_class_ids = 0;
+  IvfConfig config;
+  std::uint64_t next_row_id = 0;
+  std::uint64_t file_bytes = 0;
+  std::size_t min_cluster_rows = 0;
+  std::size_t max_cluster_rows = 0;
+  std::uint64_t journal_bytes = 0;  // 0 when no journal exists
+  std::size_t journal_adds = 0;
+  std::size_t journal_removes = 0;
+};
+IndexInfo read_index_info(const std::string& path);
+
+// The mmap-backed store: ShardViews point into the mapping. Shards [0, C)
+// are the mapped base clusters; shards [C, 2C) are the journal tails of the
+// same clusters, so probing cluster c scans both its base rows and its
+// appended rows.
+class MappedIndex final : public core::ReferenceStore {
+ public:
+  explicit MappedIndex(const std::string& path, std::size_t probes = 0);
+
+  std::size_t dim() const override { return dim_; }
+  std::size_t size() const override { return size_; }
+  std::size_t shard_count() const override { return 2 * n_clusters_; }
+  core::ShardView shard_view(std::size_t shard) const override;
+  std::size_t n_class_ids() const override { return n_base_ids_ + extra_labels_.size(); }
+  int label_of_id(std::size_t id) const override;
+  bool pruned() const override { return true; }
+  void probe_shards(std::span<const float> query,
+                    std::vector<std::size_t>& out) const override;
+
+  std::size_t clusters() const { return n_clusters_; }
+  std::size_t journal_rows() const { return journal_rows_; }
+  std::size_t probes() const { return probes_; }
+  void set_probes(std::size_t probes) { probes_ = probes; }
+  const std::string& path() const { return map_.path(); }
+
+ private:
+  struct Tail {
+    util::AlignedVector<float> data;
+    std::vector<double> sq_norms;
+    std::vector<int> class_ids;
+    std::vector<std::uint64_t> row_ids;
+  };
+
+  io::MappedFile map_;
+  std::size_t dim_ = 0;
+  std::size_t n_clusters_ = 0;
+  std::size_t size_ = 0;
+  std::size_t probes_ = 0;  // 0 = all clusters (exact)
+  std::size_t n_base_ids_ = 0;
+  std::size_t journal_rows_ = 0;
+  const std::uint64_t* cluster_rows_ = nullptr;
+  std::vector<std::uint64_t> cluster_offsets_;  // row offset of each cluster
+  const int* id_to_label_ = nullptr;
+  const float* centroids_ = nullptr;
+  std::vector<double> centroid_norms_;
+  const float* data_ = nullptr;
+  const double* sq_norms_ = nullptr;
+  const int* class_ids_ = nullptr;
+  const std::uint64_t* row_ids_ = nullptr;
+  std::vector<int> extra_labels_;  // class ids appended by journal adds
+  std::vector<Tail> tails_;
+
+  obs::Counter* probes_total_ = nullptr;
+  obs::Counter* clusters_scanned_ = nullptr;
+  obs::Counter* rows_scanned_ = nullptr;
+};
+
+}  // namespace wf::index

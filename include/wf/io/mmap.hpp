@@ -1,0 +1,42 @@
+#pragma once
+
+// RAII read-only memory mapping. This class (src/io/mmap.cpp) is the one
+// sanctioned home of raw mmap/munmap calls in the tree — the wf-lint
+// mmap-discipline rule enforces it — so lifetime bugs (double unmap, leaked
+// mappings, use-after-close) have exactly one place to hide.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wf::io {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  // Maps `path` read-only in whole. Throws IoError (with the path and
+  // errno text) when the file cannot be opened, sized or mapped. A
+  // zero-length file maps to data() == nullptr with size() == 0.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::uint8_t* data() const { return static_cast<const std::uint8_t*>(addr_); }
+  std::size_t size() const { return size_; }
+  bool mapped() const { return mapped_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void reset() noexcept;
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::string path_;
+};
+
+}  // namespace wf::io

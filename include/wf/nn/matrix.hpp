@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/aligned.hpp"
 #include "util/check.hpp"
 
 namespace wf::util {
@@ -66,7 +67,9 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<float> data_;
+  // 64-byte-aligned so the SIMD distance kernels get cache-line-aligned
+  // base pointers (see util/aligned.hpp).
+  util::AlignedVector<float> data_;
 };
 
 // Squared norm with double accumulation in index order — the one reduction

@@ -1,0 +1,51 @@
+#pragma once
+
+// 64-byte-aligned allocation for SIMD-facing row storage. nn::Matrix and the
+// index cluster cells keep their floats in an AlignedVector so the AVX2/NEON
+// distance kernels always see cache-line-aligned base pointers (the kernels
+// still use unaligned loads for interior rows — alignment here is about
+// avoiding split lines on the hot base addresses, not a correctness
+// requirement).
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace wf::util {
+
+inline constexpr std::size_t kSimdAlignment = 64;
+
+template <typename T, std::size_t Alignment = kSimdAlignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T), "alignment must satisfy the element type");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) { return false; }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace wf::util

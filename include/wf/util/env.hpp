@@ -48,6 +48,11 @@ class Env {
   // or "warn" (any case). Unset or unrecognized values read as "info".
   static std::string log_level();
 
+  // WF_SIMD: distance-kernel instruction set — "auto" (default), "avx2",
+  // "neon" or "scalar", lowercased. Note nn::simd_mode() resolves this once
+  // and caches it — flip it at runtime via nn::set_simd_mode.
+  static std::string simd();
+
   // CLI overrides: take precedence over the environment until cleared.
   static void override_smoke(bool smoke);
   static void override_threads(std::size_t threads);
@@ -56,6 +61,7 @@ class Env {
   static void override_serve_timeout_ms(std::size_t ms);
   static void override_obs(bool obs);
   static void override_log_level(std::string level);
+  static void override_simd(std::string mode);
 
   // One log_info line with the effective settings, emitted at most once per
   // process (every entry point calls it; only the first call prints).

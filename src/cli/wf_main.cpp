@@ -22,7 +22,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/adaptive.hpp"
 #include "eval/registry.hpp"
+#include "index/store.hpp"
 #include "io/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -42,6 +44,12 @@ struct CliOptions {
   std::string attacker = "adaptive";
   std::string model;
   int classes = 0;  // 0: first exp1 class count of the active scenario
+
+  // wf::index flags (wf index build/info/rebuild, wf serve --index).
+  std::string index;
+  std::size_t clusters = 0;  // 0 = auto (~sqrt(n))
+  std::size_t probes = 0;    // 0 = all clusters (exact)
+  bool seed_given = false;
   bool all = false;
   bool attacker_given = false;
   bool out_given = false;
@@ -93,11 +101,18 @@ int usage(int code) {
       "  wf run <exp...> [flags]     run experiments (or --all for the whole suite)\n"
       "  wf train [flags]            crawl, train an attacker, save it to --model\n"
       "  wf eval [flags]             reload --model and evaluate it on the same crawl\n"
+      "  wf index build|info|rebuild [flags]  build/inspect/compact an on-disk IVF index\n"
       "  wf serve [flags]            daemon: load --model, answer query frames on TCP\n"
       "  wf query [flags]            evaluate the crawl against a running daemon\n"
       "  wf stats [flags]            fetch and print a running daemon's metrics\n"
       "  wf proxy [flags]            fault-injecting TCP proxy for chaos testing\n"
       "  wf help                     this text\n"
+      "\n"
+      "index flags (wf index build --model FILE --index OUT):\n"
+      "  --index FILE       the on-disk IVFX index file (all index verbs; wf serve)\n"
+      "  --clusters C       IVF cluster count for build (0 = auto, ~sqrt(n))\n"
+      "  --probes P         clusters probed per query (0 = all: exact rankings)\n"
+      "  --seed S           k-means seed for build (default 9041)\n"
       "\n"
       "serve/query flags:\n"
       "  --host H           listen/connect address (default 127.0.0.1)\n"
@@ -204,6 +219,23 @@ bool parse_flags(int argc, char** argv, int first, CliOptions& options) {
       const char* v = value(i, "--model");
       if (v == nullptr) return false;
       options.model = v;
+    } else if (arg == "--index") {
+      const char* v = value(i, "--index");
+      if (v == nullptr) return false;
+      options.index = v;
+    } else if (arg == "--clusters" || arg == "--probes") {
+      const char* v = value(i, arg.c_str());
+      if (v == nullptr) return false;
+      long parsed = 0;
+      if (!parse_long(v, 0, 1 << 24, parsed)) {
+        std::cerr << "wf: " << arg << " must be an integer in [0, " << (1 << 24) << "]\n";
+        return false;
+      }
+      if (arg == "--clusters") {
+        options.clusters = static_cast<std::size_t>(parsed);
+      } else {
+        options.probes = static_cast<std::size_t>(parsed);
+      }
     } else if (arg == "--classes") {
       const char* v = value(i, "--classes");
       if (v == nullptr) return false;
@@ -322,6 +354,7 @@ bool parse_flags(int argc, char** argv, int first, CliOptions& options) {
         return false;
       }
       options.seed = parsed;
+      options.seed_given = true;
     } else if (arg == "--fault-kind") {
       const char* v = value(i, "--fault-kind");
       if (v == nullptr) return false;
@@ -508,6 +541,75 @@ int cmd_eval(const CliOptions& options) {
   return 0;
 }
 
+// wf index build/info/rebuild: the on-disk IVF index life cycle. build
+// clusters a saved model's reference set into an IVFX file; info prints its
+// header without loading the data; rebuild compacts base + journal in place.
+int cmd_index(const CliOptions& options) {
+  if (options.positional.empty()) {
+    std::cerr << "wf: index needs a verb: build | info | rebuild\n";
+    return 1;
+  }
+  const std::string& verb = options.positional.front();
+  if (options.index.empty()) {
+    std::cerr << "wf: index " << verb << " needs --index FILE\n";
+    return 1;
+  }
+  if (verb == "build") {
+    if (options.model.empty()) {
+      std::cerr << "wf: index build needs --model FILE (a saved attacker)\n";
+      return 1;
+    }
+    util::Env::log_effective();
+    const std::unique_ptr<core::Attacker> attacker = io::load_attacker(options.model);
+    const auto* adaptive = dynamic_cast<const core::AdaptiveFingerprinter*>(attacker.get());
+    if (adaptive == nullptr) {
+      std::cerr << "wf: attacker \"" << attacker->name()
+                << "\" has no reference set to index (use the adaptive attacker)\n";
+      return 1;
+    }
+    index::IvfConfig config;
+    config.clusters = options.clusters;
+    config.probes = options.probes;
+    if (options.seed_given) config.seed = static_cast<std::uint64_t>(options.seed);
+    const index::IvfReferenceStore store(adaptive->references(), config);
+    index::write_index_file(options.index, store);
+    std::cout << "wf index: wrote " << store.size() << " references in " << store.clusters()
+              << " clusters (dim " << store.dim() << ", probes "
+              << (options.probes == 0 ? std::string("all") : std::to_string(options.probes))
+              << ") to " << options.index << "\n";
+    return 0;
+  }
+  if (verb == "info") {
+    const index::IndexInfo info = index::read_index_info(options.index);
+    util::Table table({"Field", "Value"});
+    table.add_row({"dim", std::to_string(info.dim)});
+    table.add_row({"clusters", std::to_string(info.clusters)});
+    table.add_row({"rows", std::to_string(info.rows)});
+    table.add_row({"classes", std::to_string(info.n_class_ids)});
+    table.add_row({"default_probes", info.config.probes == 0
+                                         ? std::string("all")
+                                         : std::to_string(info.config.probes)});
+    table.add_row({"kmeans_seed", std::to_string(info.config.seed)});
+    table.add_row({"next_row_id", std::to_string(info.next_row_id)});
+    table.add_row({"file_bytes", std::to_string(info.file_bytes)});
+    table.add_row({"cluster_rows_min", std::to_string(info.min_cluster_rows)});
+    table.add_row({"cluster_rows_max", std::to_string(info.max_cluster_rows)});
+    table.add_row({"journal_bytes", std::to_string(info.journal_bytes)});
+    table.add_row({"journal_adds", std::to_string(info.journal_adds)});
+    table.add_row({"journal_removes", std::to_string(info.journal_removes)});
+    table.print();
+    return 0;
+  }
+  if (verb == "rebuild") {
+    const std::size_t rows = index::rebuild_index_file(options.index);
+    std::cout << "wf index: rebuilt " << options.index << " (" << rows
+              << " references, journal compacted)\n";
+    return 0;
+  }
+  std::cerr << "wf: unknown index verb \"" << verb << "\" (build | info | rebuild)\n";
+  return 1;
+}
+
 int cmd_serve(const CliOptions& options) {
   util::Env::log_effective();
   std::shared_ptr<serve::Handler> handler;
@@ -537,6 +639,26 @@ int cmd_serve(const CliOptions& options) {
     }
     std::unique_ptr<core::Attacker> attacker = io::load_attacker(options.model);
     util::log_info() << "loaded \"" << attacker->name() << "\" from " << options.model;
+    if (!options.index.empty()) {
+      auto* adaptive = dynamic_cast<core::AdaptiveFingerprinter*>(attacker.get());
+      if (adaptive == nullptr) {
+        std::cerr << "wf: --index needs the adaptive attacker, not \"" << attacker->name()
+                  << "\"\n";
+        return 1;
+      }
+      if (options.slice_count > 1) {
+        std::cerr << "wf: --index serves the whole reference set; drop --slice\n";
+        return 1;
+      }
+      // mmap-backed open: O(1) in the data. --probes overrides the file's
+      // default; 0 keeps it (and a file built without --probes stays exact,
+      // which is what the CI rankings diff against `wf eval` relies on).
+      std::shared_ptr<core::ReferenceStore> store =
+          index::open_index(options.index, options.probes);
+      util::log_info() << "serving references from index " << options.index << " ("
+                       << store->size() << " rows)";
+      adaptive->set_store(std::move(store));
+    }
     handler = std::make_shared<serve::LocalHandler>(std::move(attacker), options.slice_index,
                                                     options.slice_count);
   }
@@ -711,6 +833,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(options);
     if (command == "train") return cmd_train(options);
     if (command == "eval") return cmd_eval(options);
+    if (command == "index") return cmd_index(options);
     if (command == "serve") return cmd_serve(options);
     if (command == "query") return cmd_query(options);
     if (command == "stats") return cmd_stats(options);

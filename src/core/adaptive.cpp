@@ -1,11 +1,41 @@
 #include "core/adaptive.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "io/serialize.hpp"
 #include "obs/trace.hpp"
 
 namespace wf::core {
+
+AdaptiveFingerprinter::AdaptiveFingerprinter(const AdaptiveFingerprinter& other)
+    : model_(other.model_),
+      n_shards_(other.n_shards_),
+      references_(other.references_),
+      knn_(other.knn_),
+      ivf_(other.ivf_ ? std::make_unique<index::IvfReferenceStore>(*other.ivf_) : nullptr),
+      store_override_(other.store_override_) {}
+
+AdaptiveFingerprinter& AdaptiveFingerprinter::operator=(const AdaptiveFingerprinter& other) {
+  if (this == &other) return *this;
+  model_ = other.model_;
+  n_shards_ = other.n_shards_;
+  references_ = other.references_;
+  knn_ = other.knn_;
+  ivf_ = other.ivf_ ? std::make_unique<index::IvfReferenceStore>(*other.ivf_) : nullptr;
+  store_override_ = other.store_override_;
+  return *this;
+}
+
+const ReferenceStore& AdaptiveFingerprinter::store() const {
+  if (store_override_) return *store_override_;
+  if (ivf_) return *ivf_;
+  return references_;
+}
+
+void AdaptiveFingerprinter::build_index(const index::IvfConfig& config) {
+  ivf_ = std::make_unique<index::IvfReferenceStore>(references_, config);
+}
 
 AdaptiveFingerprinter::AdaptiveFingerprinter(const EmbeddingConfig& config, int knn_k,
                                              std::size_t n_shards)
@@ -23,6 +53,7 @@ TrainStats AdaptiveFingerprinter::provision(const data::Dataset& train,
 void AdaptiveFingerprinter::initialize(const data::Dataset& references) {
   references_ = ShardedReferenceSet(model_.config().embedding_dim, n_shards_);
   references_.add_all(model_.embed_dataset(references), references.labels_of());
+  if (ivf_) build_index(ivf_->config());
 }
 
 TrainStats AdaptiveFingerprinter::train(const data::Dataset& train) {
@@ -34,21 +65,20 @@ TrainStats AdaptiveFingerprinter::train(const data::Dataset& train) {
 std::vector<RankedLabel> AdaptiveFingerprinter::fingerprint(
     std::span<const float> features) const {
   const std::vector<float> embedding = model_.embed(features);
-  return knn_.rank(references_, embedding);
+  return knn_.rank(store(), embedding);
 }
 
 std::vector<std::vector<RankedLabel>> AdaptiveFingerprinter::fingerprint_batch(
     const data::Dataset& traces) const {
   const obs::Span span("rank");
-  return knn_.rank_batch(references_, model_.embed(traces.to_matrix()));
+  return knn_.rank_batch(store(), model_.embed(traces.to_matrix()));
 }
 
 SliceScan AdaptiveFingerprinter::scan_slice(const data::Dataset& traces,
                                             std::size_t slice_index,
                                             std::size_t slice_count) const {
   const obs::Span span("scan");
-  return knn_.scan_slice(references_, model_.embed(traces.to_matrix()), slice_index,
-                         slice_count);
+  return knn_.scan_slice(store(), model_.embed(traces.to_matrix()), slice_index, slice_count);
 }
 
 double AdaptiveFingerprinter::probe_class_accuracy(int label, const data::Dataset& probe) const {
@@ -64,11 +94,27 @@ double AdaptiveFingerprinter::probe_class_accuracy(int label, const data::Datase
 
 void AdaptiveFingerprinter::adapt_class(int label, const data::Dataset& fresh) {
   references_.remove_class(label);
+  if (ivf_) ivf_->remove_class(label);
   const data::Dataset mine = fresh.filter([label](int l) { return l == label; });
-  if (mine.empty()) return;
-  const nn::Matrix embeddings = model_.embed_dataset(mine);
-  for (std::size_t i = 0; i < embeddings.rows(); ++i)
-    references_.add(embeddings.row_span(i), label);
+  if (!mine.empty()) {
+    const nn::Matrix embeddings = model_.embed_dataset(mine);
+    for (std::size_t i = 0; i < embeddings.rows(); ++i) {
+      references_.add(embeddings.row_span(i), label);
+      if (ivf_) ivf_->add(embeddings.row_span(i), label);
+    }
+  }
+  if (ivf_) ivf_->maybe_rebuild();
+}
+
+std::vector<int> AdaptiveFingerprinter::target_classes() const {
+  const ReferenceStore& refs = store();
+  if (&refs == &references_) return references_.classes();
+  std::vector<int> labels;
+  labels.reserve(refs.n_class_ids());
+  for (std::size_t id = 0; id < refs.n_class_ids(); ++id) labels.push_back(refs.label_of_id(id));
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  return labels;
 }
 
 void AdaptiveFingerprinter::save_body(io::Writer& out) const {
@@ -114,6 +160,10 @@ void AdaptiveFingerprinter::load_body(io::Reader& in) {
   n_shards_ = n_shards;
   references_ = std::move(references);
   knn_ = KnnClassifier(k);
+  // Index state is never serialized: a loaded attacker answers exactly until
+  // someone rebuilds or attaches an index.
+  ivf_.reset();
+  store_override_.reset();
 }
 
 }  // namespace wf::core

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "core/probe_scan.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -135,7 +136,18 @@ std::vector<RankedLabel> KnnClassifier::rank(const ReferenceStore& references,
   RankScratch& sc = scratch();
   sc.merged.clear();
   sc.best.assign(n_ids, 1e300);
-  if (n_shards == 1) {
+  if (references.pruned()) {
+    // IVF-style store: scan only the shards the store probes for this
+    // query. With a probe list covering every shard this is bit-identical
+    // to the exhaustive paths below (same candidates, order-independent
+    // merge); with a pruned list it is the ANN approximation.
+    detail::scan_pruned_tile(references, query.data(), 1, references.dim(), 0, 1,
+                             [&](std::size_t, const ShardView& shard, std::size_t,
+                                 const float* dots) {
+                               scan_shard(shard, dots, qnorm, k, sc.heap, sc.best.data(),
+                                          sc.merged);
+                             });
+  } else if (n_shards == 1) {
     // Zero-allocation steady state on the per-trace latency path.
     const ShardView shard = references.shard_view(0);
     sc.dots.resize(shard.rows);
@@ -200,15 +212,24 @@ std::vector<std::vector<RankedLabel>> KnnClassifier::rank_batch(
         sc.qnorms[q] = nn::squared_norm(queries.data() + (t0 + q) * dim, dim);
       for (std::size_t q = 0; q < rows; ++q) merged[q].clear();
       best.assign(rows * n_ids, 1e300);
-      for (std::size_t s = 0; s < n_shards; ++s) {
-        const ShardView shard = references.shard_view(s);
-        if (shard.rows == 0) continue;
-        sc.dots.resize(rows * shard.rows);
-        nn::gemm_nt_serial(queries.data() + t0 * dim, rows, shard.data, shard.rows, dim,
-                           sc.dots.data());
-        for (std::size_t q = 0; q < rows; ++q)
-          scan_shard(shard, sc.dots.data() + q * shard.rows, sc.qnorms[q], k, sc.heap,
-                     best.data() + q * n_ids, merged[q]);
+      if (references.pruned()) {
+        detail::scan_pruned_tile(references, queries.data() + t0 * dim, rows, dim, 0, 1,
+                                 [&](std::size_t, const ShardView& shard, std::size_t q,
+                                     const float* dots) {
+                                   scan_shard(shard, dots, sc.qnorms[q], k, sc.heap,
+                                              best.data() + q * n_ids, merged[q]);
+                                 });
+      } else {
+        for (std::size_t s = 0; s < n_shards; ++s) {
+          const ShardView shard = references.shard_view(s);
+          if (shard.rows == 0) continue;
+          sc.dots.resize(rows * shard.rows);
+          nn::gemm_nt_serial(queries.data() + t0 * dim, rows, shard.data, shard.rows, dim,
+                             sc.dots.data());
+          for (std::size_t q = 0; q < rows; ++q)
+            scan_shard(shard, sc.dots.data() + q * shard.rows, sc.qnorms[q], k, sc.heap,
+                       best.data() + q * n_ids, merged[q]);
+        }
       }
       for (std::size_t q = 0; q < rows; ++q)
         finalize_ranking(references, k, merged[q], sc.votes, best.data() + q * n_ids,
@@ -249,15 +270,26 @@ SliceScan KnnClassifier::scan_slice(const ReferenceStore& references, const nn::
       sc.qnorms.resize(rows);
       for (std::size_t q = 0; q < rows; ++q)
         sc.qnorms[q] = nn::squared_norm(queries.data() + (t0 + q) * dim, dim);
-      for (std::size_t s = slice_index; s < n_shards; s += slice_count) {
-        const ShardView shard = references.shard_view(s);
-        if (shard.rows == 0) continue;
-        sc.dots.resize(rows * shard.rows);
-        nn::gemm_nt_serial(queries.data() + t0 * dim, rows, shard.data, shard.rows, dim,
-                           sc.dots.data());
-        for (std::size_t q = 0; q < rows; ++q)
-          scan_shard(shard, sc.dots.data() + q * shard.rows, sc.qnorms[q], k, sc.heap,
-                     out.best.data() + (t0 + q) * n_ids, out.candidates[t0 + q]);
+      if (references.pruned()) {
+        detail::scan_pruned_tile(references, queries.data() + t0 * dim, rows, dim, slice_index,
+                                 slice_count,
+                                 [&](std::size_t, const ShardView& shard, std::size_t q,
+                                     const float* dots) {
+                                   scan_shard(shard, dots, sc.qnorms[q], k, sc.heap,
+                                              out.best.data() + (t0 + q) * n_ids,
+                                              out.candidates[t0 + q]);
+                                 });
+      } else {
+        for (std::size_t s = slice_index; s < n_shards; s += slice_count) {
+          const ShardView shard = references.shard_view(s);
+          if (shard.rows == 0) continue;
+          sc.dots.resize(rows * shard.rows);
+          nn::gemm_nt_serial(queries.data() + t0 * dim, rows, shard.data, shard.rows, dim,
+                             sc.dots.data());
+          for (std::size_t q = 0; q < rows; ++q)
+            scan_shard(shard, sc.dots.data() + q * shard.rows, sc.qnorms[q], k, sc.heap,
+                       out.best.data() + (t0 + q) * n_ids, out.candidates[t0 + q]);
+        }
       }
     }
   });

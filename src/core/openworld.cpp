@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/probe_scan.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -36,6 +37,11 @@ void shard_smallest(const ShardView& shard, const float* dots, double qnorm, std
 // least min(k + 1, rows) values, so the union contains the global k + 1
 // smallest and the selected value equals an unsharded nth_element.
 double merged_kth(std::vector<double>& merged, std::size_t k) {
+  // Exhaustive scans always merge at least k + 1 values; a pruned probe can
+  // cover fewer rows than that, in which case the farthest covered
+  // neighbour stands in (and an empty probe means "nowhere near": 1e300).
+  if (merged.empty()) return 1e300;
+  if (k >= merged.size()) k = merged.size() - 1;
   std::nth_element(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(k),
                    merged.end());
   return merged[k];
@@ -73,6 +79,15 @@ double OpenWorldDetector::kth_distance(const ReferenceStore& references,
   thread_local std::vector<double> merged_tls;
   std::vector<double>& merged = merged_tls;
   merged.clear();
+  if (references.pruned()) {
+    thread_local std::vector<double> dist_scratch;
+    detail::scan_pruned_tile(references, embedding.data(), 1, references.dim(), 0, 1,
+                             [&](std::size_t, const ShardView& shard, std::size_t,
+                                 const float* dots) {
+                               shard_smallest(shard, dots, qnorm, k + 1, dist_scratch, merged);
+                             });
+    return std::sqrt(merged_kth(merged, k));
+  }
   if (n_shards == 1) {
     const ShardView shard = references.shard_view(0);
     thread_local std::vector<float> dots;
@@ -132,15 +147,24 @@ std::vector<double> OpenWorldDetector::kth_distances(const ReferenceStore& refer
         merged[q].clear();
         qnorms[q] = nn::squared_norm(embeddings.data() + (t0 + q) * dim, dim);
       }
-      for (std::size_t s = 0; s < n_shards; ++s) {
-        const ShardView shard = references.shard_view(s);
-        if (shard.rows == 0) continue;
-        dots.resize(rows * shard.rows);
-        nn::gemm_nt_serial(embeddings.data() + t0 * dim, rows, shard.data, shard.rows, dim,
-                           dots.data());
-        for (std::size_t q = 0; q < rows; ++q)
-          shard_smallest(shard, dots.data() + q * shard.rows, qnorms[q], k + 1, dist_scratch,
-                         merged[q]);
+      if (references.pruned()) {
+        detail::scan_pruned_tile(references, embeddings.data() + t0 * dim, rows, dim, 0, 1,
+                                 [&](std::size_t, const ShardView& shard, std::size_t q,
+                                     const float* dots_row) {
+                                   shard_smallest(shard, dots_row, qnorms[q], k + 1,
+                                                  dist_scratch, merged[q]);
+                                 });
+      } else {
+        for (std::size_t s = 0; s < n_shards; ++s) {
+          const ShardView shard = references.shard_view(s);
+          if (shard.rows == 0) continue;
+          dots.resize(rows * shard.rows);
+          nn::gemm_nt_serial(embeddings.data() + t0 * dim, rows, shard.data, shard.rows, dim,
+                             dots.data());
+          for (std::size_t q = 0; q < rows; ++q)
+            shard_smallest(shard, dots.data() + q * shard.rows, qnorms[q], k + 1, dist_scratch,
+                           merged[q]);
+        }
       }
       for (std::size_t q = 0; q < rows; ++q)
         result[t0 + q] = std::sqrt(merged_kth(merged[q], k));

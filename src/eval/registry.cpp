@@ -10,6 +10,7 @@
 #include "eval/exp_costs.hpp"
 #include "eval/exp_crosssite.hpp"
 #include "eval/exp_distinguish.hpp"
+#include "eval/exp_million.hpp"
 #include "eval/exp_padding.hpp"
 #include "eval/exp_robust.hpp"
 #include "eval/exp_serve.hpp"
@@ -265,6 +266,20 @@ int run_ablation(const AttackerFactory&) {
   return 0;
 }
 
+// The million-reference regime (wf::index, beyond the paper's corpus sizes):
+// IVF-pruned scan vs the exact sharded scan on a synthetic clustered
+// corpus — QPS, speedup and recall@10 per cluster count x probe count x
+// SIMD mode. The Clusters=0/Probes=0 rows are the exact baselines.
+int run_million(const AttackerFactory&) {
+  util::BenchReport report("perf_million");
+  std::cout << "== perf_million: IVF-pruned scan vs exact, clusters x probes x SIMD ==\n";
+  const util::Table table = run_million_experiment();
+  table.print();
+  std::cout << "CSV written to " << results_dir() << "/perf_million.csv\n";
+  report_rows(report, static_cast<double>(table.n_rows()));
+  return 0;
+}
+
 }  // namespace
 
 const std::vector<Experiment>& experiments() {
@@ -295,6 +310,9 @@ const std::vector<Experiment>& experiments() {
        run_perf_serve},
       {"robust_serve", "bench_robust_serve",
        "serving availability + error classes + p99 under injected faults", false, run_robust},
+      {"perf_million", "bench_perf_million",
+       "IVF index recall/speedup sweep: clusters x probes x SIMD vs exact scan", false,
+       run_million},
   };
   return registry;
 }

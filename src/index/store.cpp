@@ -1,0 +1,654 @@
+#include "index/store.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "io/serialize.hpp"
+#include "nn/matrix.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace wf::index {
+
+namespace {
+
+// The bulk arrays are written and mapped as raw host memory, so the host
+// representation must match the declared on-disk one.
+static_assert(sizeof(int) == 4 && sizeof(float) == 4 && sizeof(double) == 8 &&
+              sizeof(std::uint64_t) == 8);
+
+void require_little_endian() {
+  if (std::endian::native != std::endian::little)
+    throw io::IoError("index files are little-endian; this host is not");
+}
+
+std::string journal_path_of(const std::string& path) { return path + ".journal"; }
+
+constexpr std::size_t kHeaderBytes = 104;
+
+std::size_t align64(std::size_t offset) { return (offset + 63) & ~std::size_t{63}; }
+
+struct Header {
+  std::uint64_t dim = 0;
+  std::uint64_t clusters = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t next_row_id = 0;
+  std::uint64_t n_class_ids = 0;
+  std::uint64_t default_probes = 0;
+  std::uint64_t kmeans_seed = 0;
+  std::uint64_t kmeans_iters = 0;
+  std::uint64_t sample_per_cluster = 0;
+  double rebuild_churn = 0.0;
+  std::uint64_t file_bytes = 0;
+};
+
+// Byte offset of each array (see the layout comment in index/store.hpp).
+struct Layout {
+  std::size_t cluster_rows = 0;
+  std::size_t id_to_label = 0;
+  std::size_t centroids = 0;
+  std::size_t data = 0;
+  std::size_t sq_norms = 0;
+  std::size_t class_ids = 0;
+  std::size_t row_ids = 0;
+  std::size_t total = 0;
+};
+
+Layout layout_of(const Header& h) {
+  Layout l;
+  l.cluster_rows = align64(kHeaderBytes);
+  l.id_to_label = align64(l.cluster_rows + 8 * h.clusters);
+  l.centroids = align64(l.id_to_label + 4 * h.n_class_ids);
+  l.data = align64(l.centroids + 4 * h.clusters * h.dim);
+  l.sq_norms = align64(l.data + 4 * h.rows * h.dim);
+  l.class_ids = align64(l.sq_norms + 8 * h.rows);
+  l.row_ids = align64(l.class_ids + 4 * h.rows);
+  l.total = l.row_ids + 8 * h.rows;
+  return l;
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v;
+  __builtin_memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Header parse + every check that does not touch the bulk arrays: magic,
+// versions, kind, plausibility caps (a corrupt count must raise IoError, not
+// a multi-GiB allocation or an overflowing layout), and the file_bytes pin
+// against both the declared layout and the actual mapping size.
+Header parse_header(const io::MappedFile& map) {
+  require_little_endian();
+  if (map.size() < kHeaderBytes)
+    throw io::IoError("index file truncated: " + map.path());
+  const std::uint8_t* p = map.data();
+  if (std::memcmp(p, "WFIO", 4) != 0) throw io::IoError("not a wf::io file (bad magic)");
+  const std::uint32_t version = get_u32(p + 4);
+  if (version != io::kFormatVersion)
+    throw io::IoError("unsupported format version " + std::to_string(version) +
+                      " (supported: " + std::to_string(io::kFormatVersion) + ")");
+  const std::string kind(reinterpret_cast<const char*>(p + 8), 4);
+  if (kind != "IVFX") throw io::IoError("expected a IVFX file, found " + kind);
+  const std::uint32_t layout_version = get_u32(p + 12);
+  if (layout_version != kIndexLayoutVersion)
+    throw io::IoError("unsupported index layout version " + std::to_string(layout_version) +
+                      " (supported: " + std::to_string(kIndexLayoutVersion) + ")");
+  Header h;
+  h.dim = get_u64(p + 16);
+  h.clusters = get_u64(p + 24);
+  h.rows = get_u64(p + 32);
+  h.next_row_id = get_u64(p + 40);
+  h.n_class_ids = get_u64(p + 48);
+  h.default_probes = get_u64(p + 56);
+  h.kmeans_seed = get_u64(p + 64);
+  h.kmeans_iters = get_u64(p + 72);
+  h.sample_per_cluster = get_u64(p + 80);
+  h.rebuild_churn = get_f64(p + 88);
+  h.file_bytes = get_u64(p + 96);
+  if (h.dim == 0 || h.dim > (std::uint64_t{1} << 20))
+    throw io::IoError("index header implausible: dim " + std::to_string(h.dim));
+  if (h.clusters == 0 || h.clusters > (std::uint64_t{1} << 24))
+    throw io::IoError("index header implausible: clusters " + std::to_string(h.clusters));
+  if (h.rows > (std::uint64_t{1} << 40))
+    throw io::IoError("index header implausible: rows " + std::to_string(h.rows));
+  if (h.n_class_ids > (std::uint64_t{1} << 24))
+    throw io::IoError("index header implausible: class ids " + std::to_string(h.n_class_ids));
+  const Layout l = layout_of(h);
+  if (h.file_bytes != l.total)
+    throw io::IoError("index header inconsistent: file_bytes " +
+                      std::to_string(h.file_bytes) + " != layout " + std::to_string(l.total));
+  if (map.size() != h.file_bytes)
+    throw io::IoError("index file truncated: expected " + std::to_string(h.file_bytes) +
+                      " bytes, have " + std::to_string(map.size()) + " (" + map.path() + ")");
+  return h;
+}
+
+struct BaseTables {
+  Header header;
+  Layout layout;
+  const std::uint64_t* cluster_rows = nullptr;
+  const int* id_to_label = nullptr;
+  const float* centroids = nullptr;
+  const float* data = nullptr;
+  const double* sq_norms = nullptr;
+  const int* class_ids = nullptr;
+  const std::uint64_t* row_ids = nullptr;
+};
+
+BaseTables base_tables(const io::MappedFile& map) {
+  BaseTables t;
+  t.header = parse_header(map);
+  t.layout = layout_of(t.header);
+  const std::uint8_t* base = map.data();
+  t.cluster_rows = reinterpret_cast<const std::uint64_t*>(base + t.layout.cluster_rows);
+  t.id_to_label = reinterpret_cast<const int*>(base + t.layout.id_to_label);
+  t.centroids = reinterpret_cast<const float*>(base + t.layout.centroids);
+  t.data = reinterpret_cast<const float*>(base + t.layout.data);
+  t.sq_norms = reinterpret_cast<const double*>(base + t.layout.sq_norms);
+  t.class_ids = reinterpret_cast<const int*>(base + t.layout.class_ids);
+  t.row_ids = reinterpret_cast<const std::uint64_t*>(base + t.layout.row_ids);
+  std::uint64_t sum = 0;
+  for (std::uint64_t c = 0; c < t.header.clusters; ++c) {
+    sum += t.cluster_rows[c];
+    if (sum > t.header.rows) throw io::IoError("index cluster rows exceed row count");
+  }
+  if (sum != t.header.rows) throw io::IoError("index cluster rows do not cover row count");
+  return t;
+}
+
+// O(rows) pass over the small id tables only (the embedding data stays
+// untouched, so open cost is unaffected): every class id must index the
+// label table and every row id must precede the recorded next_row_id.
+void validate_ids(const BaseTables& t) {
+  const auto n_ids = static_cast<std::int64_t>(t.header.n_class_ids);
+  for (std::uint64_t i = 0; i < t.header.rows; ++i) {
+    const int id = t.class_ids[i];
+    if (id < 0 || static_cast<std::int64_t>(id) >= n_ids)
+      throw io::IoError("index class id out of range");
+    if (t.row_ids[i] >= t.header.next_row_id)
+      throw io::IoError("index row id out of range");
+  }
+}
+
+void raw_write(std::ostream& out, const void* data, std::size_t bytes) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  if (!out) throw io::IoError("write failed");
+}
+
+void pad_to(std::ostream& out, std::size_t& offset, std::size_t target) {
+  WF_CHECK(target >= offset, "index writer: layout offsets must be monotone");
+  static constexpr char kZeros[64] = {};
+  while (offset < target) {
+    const std::size_t chunk = std::min<std::size_t>(sizeof(kZeros), target - offset);
+    raw_write(out, kZeros, chunk);
+    offset += chunk;
+  }
+}
+
+std::int64_t journal_size_or_zero(const std::string& journal_path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(journal_path, ec);
+  return ec ? 0 : static_cast<std::int64_t>(size);
+}
+
+// Streams the journal (if one exists) through the two callbacks in record
+// order. on_add(cluster, label, row_id, sq_norm, embedding); on_remove(label).
+// Shared by every journal consumer so they cannot drift: a mid-record EOF is
+// an IoError, a clean end between records is the end of the journal.
+template <typename OnAdd, typename OnRemove>
+void scan_journal(const std::string& journal_path, std::uint64_t dim, std::uint64_t clusters,
+                  OnAdd&& on_add, OnRemove&& on_remove) {
+  std::ifstream in(journal_path, std::ios::binary);
+  if (!in) return;  // no journal: a bare base store
+  io::Reader r(in);
+  const std::string kind = io::read_header(r);
+  if (kind != "IVFJ") throw io::IoError("expected a IVFJ journal, found " + kind);
+  const std::uint32_t layout_version = r.u32();
+  if (layout_version != kJournalLayoutVersion)
+    throw io::IoError("unsupported journal layout version " + std::to_string(layout_version) +
+                      " (supported: " + std::to_string(kJournalLayoutVersion) + ")");
+  if (r.u64() != dim) throw io::IoError("journal/index dim mismatch: " + journal_path);
+  if (r.u64() != clusters)
+    throw io::IoError("journal/index cluster count mismatch: " + journal_path);
+  std::vector<float> embedding(dim);
+  for (;;) {
+    if (in.peek() == std::char_traits<char>::eof()) break;
+    const std::uint8_t record = r.u8();
+    if (record == 1) {
+      const std::uint64_t cluster = r.u64();
+      const int label = r.i32();
+      const std::uint64_t row_id = r.u64();
+      const double sq_norm = r.f64();
+      for (float& x : embedding) x = r.f32();
+      if (cluster >= clusters)
+        throw io::IoError("journal add record: cluster out of range");
+      on_add(cluster, label, row_id, sq_norm, embedding);
+    } else if (record == 2) {
+      on_remove(r.i32());
+    } else {
+      throw io::IoError("unknown journal record kind " + std::to_string(record));
+    }
+  }
+}
+
+// The same margin + strict-less tie-break as the in-memory store's
+// nearest_centroid: the journal writer must pick the cluster the live store
+// would have picked, or replay diverges.
+std::size_t nearest_centroid_of(std::span<const float> row, const float* centroids,
+                                const double* norms, std::size_t n, std::size_t dim) {
+  thread_local std::vector<float> dots;
+  dots.resize(n);
+  nn::gemm_nt_serial(row.data(), 1, centroids, n, dim, dots.data());
+  std::size_t best = 0;
+  double best_margin = norms[0] - 2.0 * static_cast<double>(dots[0]);
+  for (std::size_t c = 1; c < n; ++c) {
+    const double margin = norms[c] - 2.0 * static_cast<double>(dots[c]);
+    if (margin < best_margin) {
+      best_margin = margin;
+      best = c;
+    }
+  }
+  return best;
+}
+
+IvfConfig config_of(const Header& h) {
+  IvfConfig config;
+  // The stored cluster count is pinned (not the original "0 = auto"), so a
+  // rebuild from this file reproduces the same partition width.
+  config.clusters = h.clusters;
+  config.probes = h.default_probes;
+  config.kmeans_iters = h.kmeans_iters;
+  config.sample_per_cluster = h.sample_per_cluster;
+  config.seed = h.kmeans_seed;
+  config.rebuild_churn = h.rebuild_churn;
+  return config;
+}
+
+}  // namespace
+
+void write_index_file(const std::string& path, const IvfReferenceStore& store) {
+  require_little_endian();
+  if (store.dim() == 0 || store.clusters() == 0)
+    throw io::IoError("cannot write an empty index (no clusters)");
+  Header h;
+  h.dim = store.dim();
+  h.clusters = store.clusters();
+  h.rows = store.size();
+  h.next_row_id = store.next_row_id();
+  h.n_class_ids = store.n_class_ids();
+  h.default_probes = store.config().probes;
+  h.kmeans_seed = store.config().seed;
+  h.kmeans_iters = store.config().kmeans_iters;
+  h.sample_per_cluster = store.config().sample_per_cluster;
+  h.rebuild_churn = store.config().rebuild_churn;
+  const Layout l = layout_of(h);
+  h.file_bytes = l.total;
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw io::IoError("cannot open " + path + " for writing");
+  io::Writer w(out);
+  io::write_header(w, "IVFX");
+  w.u32(kIndexLayoutVersion);
+  w.u64(h.dim);
+  w.u64(h.clusters);
+  w.u64(h.rows);
+  w.u64(h.next_row_id);
+  w.u64(h.n_class_ids);
+  w.u64(h.default_probes);
+  w.u64(h.kmeans_seed);
+  w.u64(h.kmeans_iters);
+  w.u64(h.sample_per_cluster);
+  w.f64(h.rebuild_churn);
+  w.u64(h.file_bytes);
+  std::size_t offset = kHeaderBytes;
+
+  pad_to(out, offset, l.cluster_rows);
+  std::vector<std::uint64_t> cluster_rows(h.clusters);
+  for (std::size_t c = 0; c < h.clusters; ++c) cluster_rows[c] = store.cell(c).rows();
+  raw_write(out, cluster_rows.data(), 8 * cluster_rows.size());
+  offset += 8 * cluster_rows.size();
+
+  pad_to(out, offset, l.id_to_label);
+  raw_write(out, store.id_to_label().data(), 4 * store.id_to_label().size());
+  offset += 4 * store.id_to_label().size();
+
+  pad_to(out, offset, l.centroids);
+  raw_write(out, store.centroids().data(), 4 * store.centroids().size());
+  offset += 4 * store.centroids().size();
+
+  pad_to(out, offset, l.data);
+  for (std::size_t c = 0; c < h.clusters; ++c) {
+    const auto& cell = store.cell(c);
+    raw_write(out, cell.data.data(), 4 * cell.data.size());
+    offset += 4 * cell.data.size();
+  }
+
+  pad_to(out, offset, l.sq_norms);
+  for (std::size_t c = 0; c < h.clusters; ++c) {
+    const auto& cell = store.cell(c);
+    raw_write(out, cell.sq_norms.data(), 8 * cell.sq_norms.size());
+    offset += 8 * cell.sq_norms.size();
+  }
+
+  pad_to(out, offset, l.class_ids);
+  for (std::size_t c = 0; c < h.clusters; ++c) {
+    const auto& cell = store.cell(c);
+    raw_write(out, cell.class_ids.data(), 4 * cell.class_ids.size());
+    offset += 4 * cell.class_ids.size();
+  }
+
+  pad_to(out, offset, l.row_ids);
+  for (std::size_t c = 0; c < h.clusters; ++c) {
+    const auto& cell = store.cell(c);
+    raw_write(out, cell.row_ids.data(), 8 * cell.row_ids.size());
+    offset += 8 * cell.row_ids.size();
+  }
+  WF_CHECK(offset == l.total, "index writer: layout/write drift");
+  out.flush();
+  if (!out) throw io::IoError("write failed: " + path);
+}
+
+IvfReferenceStore load_index(const std::string& path) {
+  io::MappedFile map(path);
+  const BaseTables t = base_tables(map);
+  validate_ids(t);
+  const std::size_t dim = t.header.dim;
+
+  util::AlignedVector<float> centroids(t.centroids, t.centroids + t.header.clusters * dim);
+  std::vector<int> id_to_label(t.id_to_label, t.id_to_label + t.header.n_class_ids);
+  std::vector<IvfReferenceStore::Cell> cells(t.header.clusters);
+  std::uint64_t off = 0;
+  for (std::size_t c = 0; c < t.header.clusters; ++c) {
+    const std::uint64_t rows = t.cluster_rows[c];
+    IvfReferenceStore::Cell& cell = cells[c];
+    cell.data.assign(t.data + off * dim, t.data + (off + rows) * dim);
+    cell.sq_norms.assign(t.sq_norms + off, t.sq_norms + off + rows);
+    cell.class_ids.assign(t.class_ids + off, t.class_ids + off + rows);
+    cell.row_ids.assign(t.row_ids + off, t.row_ids + off + rows);
+    cell.labels.resize(rows);
+    for (std::uint64_t i = 0; i < rows; ++i)
+      cell.labels[i] = id_to_label[static_cast<std::size_t>(cell.class_ids[i])];
+    off += rows;
+  }
+
+  IvfReferenceStore store =
+      IvfReferenceStore::restore(dim, t.header.next_row_id, config_of(t.header),
+                                 std::move(centroids), std::move(id_to_label), std::move(cells));
+  // Ordered journal replay — the only path that honours remove-class records.
+  scan_journal(
+      journal_path_of(path), t.header.dim, t.header.clusters,
+      [&](std::uint64_t cluster, int label, std::uint64_t row_id, double,
+          const std::vector<float>& embedding) {
+        store.add_pinned(cluster, label, row_id, {embedding.data(), embedding.size()});
+      },
+      [&](int label) { store.remove_class(label); });
+  detail::index_metrics().journal_bytes->set(journal_size_or_zero(journal_path_of(path)));
+  return store;
+}
+
+std::unique_ptr<core::ReferenceStore> open_index(const std::string& path, std::size_t probes) {
+  std::size_t removals = 0;
+  {
+    io::MappedFile map(path);
+    const Header h = parse_header(map);
+    scan_journal(
+        journal_path_of(path), h.dim, h.clusters,
+        [](std::uint64_t, int, std::uint64_t, double, const std::vector<float>&) {},
+        [&](int) { ++removals; });
+  }
+  if (removals > 0) {
+    util::log_warn() << "wf::index: journal for " << path << " holds " << removals
+                     << " class removal(s); serving from a full in-memory load "
+                        "(run `wf index rebuild` to compact)";
+    auto store = std::make_unique<IvfReferenceStore>(load_index(path));
+    if (probes != 0) store->set_probes(probes);
+    return store;
+  }
+  return std::make_unique<MappedIndex>(path, probes);
+}
+
+std::size_t rebuild_index_file(const std::string& path) {
+  IvfReferenceStore store = load_index(path);
+  store.rebuild();
+  const std::string tmp = path + ".tmp";
+  write_index_file(tmp, store);
+  std::filesystem::rename(tmp, path);
+  std::error_code ec;
+  std::filesystem::remove(journal_path_of(path), ec);
+  detail::index_metrics().journal_bytes->set(0);
+  return store.size();
+}
+
+IndexJournalWriter::IndexJournalWriter(const std::string& index_path)
+    : journal_path_(journal_path_of(index_path)) {
+  io::MappedFile map(index_path);
+  const BaseTables t = base_tables(map);
+  dim_ = t.header.dim;
+  centroids_.assign(t.centroids, t.centroids + t.header.clusters * dim_);
+  centroid_norms_.resize(t.header.clusters);
+  for (std::size_t c = 0; c < t.header.clusters; ++c)
+    centroid_norms_[c] = nn::squared_norm(centroids_.data() + c * dim_, dim_);
+  next_row_id_ = t.header.next_row_id;
+  // Continue the row-id sequence past anything already journaled, so replay
+  // sees the same ids a live in-memory store would have handed out.
+  scan_journal(
+      journal_path_, dim_, t.header.clusters,
+      [&](std::uint64_t, int, std::uint64_t row_id, double, const std::vector<float>&) {
+        next_row_id_ = std::max(next_row_id_, row_id + 1);
+      },
+      [](int) {});
+  detail::index_metrics().journal_bytes->set(journal_size_or_zero(journal_path_));
+}
+
+void IndexJournalWriter::add(std::span<const float> embedding, int label) {
+  if (embedding.size() != dim_)
+    throw io::IoError("IndexJournalWriter::add: embedding width mismatch");
+  const std::size_t cluster = nearest_centroid_of(embedding, centroids_.data(),
+                                                  centroid_norms_.data(),
+                                                  centroid_norms_.size(), dim_);
+  std::ostringstream buf;
+  io::Writer w(buf);
+  w.u8(1);
+  w.u64(cluster);
+  w.i32(label);
+  w.u64(next_row_id_);
+  w.f64(nn::squared_norm(embedding.data(), dim_));
+  for (const float x : embedding) w.f32(x);
+  append(buf.str());
+  ++next_row_id_;
+}
+
+void IndexJournalWriter::remove_class(int label) {
+  std::ostringstream buf;
+  io::Writer w(buf);
+  w.u8(2);
+  w.i32(label);
+  append(buf.str());
+}
+
+void IndexJournalWriter::append(const std::string& record) {
+  const bool fresh = journal_size_or_zero(journal_path_) == 0;
+  std::ofstream out(journal_path_, std::ios::binary | std::ios::app);
+  if (!out) throw io::IoError("cannot open journal " + journal_path_ + " for append");
+  io::Writer w(out);
+  if (fresh) {
+    io::write_header(w, "IVFJ");
+    w.u32(kJournalLayoutVersion);
+    w.u64(dim_);
+    w.u64(centroid_norms_.size());
+  }
+  raw_write(out, record.data(), record.size());
+  out.flush();
+  if (!out) throw io::IoError("journal write failed: " + journal_path_);
+  out.close();
+  detail::index_metrics().journal_bytes->set(journal_size_or_zero(journal_path_));
+}
+
+IndexInfo read_index_info(const std::string& path) {
+  io::MappedFile map(path);
+  const BaseTables t = base_tables(map);
+  IndexInfo info;
+  info.dim = t.header.dim;
+  info.clusters = t.header.clusters;
+  info.rows = t.header.rows;
+  info.n_class_ids = t.header.n_class_ids;
+  info.config = config_of(t.header);
+  info.next_row_id = t.header.next_row_id;
+  info.file_bytes = t.header.file_bytes;
+  info.min_cluster_rows = t.header.rows;
+  for (std::uint64_t c = 0; c < t.header.clusters; ++c) {
+    info.min_cluster_rows = std::min<std::size_t>(info.min_cluster_rows, t.cluster_rows[c]);
+    info.max_cluster_rows = std::max<std::size_t>(info.max_cluster_rows, t.cluster_rows[c]);
+  }
+  info.journal_bytes = static_cast<std::uint64_t>(journal_size_or_zero(journal_path_of(path)));
+  scan_journal(
+      journal_path_of(path), t.header.dim, t.header.clusters,
+      [&](std::uint64_t, int, std::uint64_t, double, const std::vector<float>&) {
+        ++info.journal_adds;
+      },
+      [&](int) { ++info.journal_removes; });
+  return info;
+}
+
+MappedIndex::MappedIndex(const std::string& path, std::size_t probes) : map_(path) {
+  const auto& metrics = detail::index_metrics();
+  probes_total_ = metrics.probes_total;
+  clusters_scanned_ = metrics.clusters_scanned;
+  rows_scanned_ = metrics.rows_scanned;
+
+  const BaseTables t = base_tables(map_);
+  validate_ids(t);
+  dim_ = t.header.dim;
+  n_clusters_ = t.header.clusters;
+  size_ = t.header.rows;
+  n_base_ids_ = t.header.n_class_ids;
+  probes_ = probes != 0 ? probes : t.header.default_probes;
+  cluster_rows_ = t.cluster_rows;
+  id_to_label_ = t.id_to_label;
+  centroids_ = t.centroids;
+  data_ = t.data;
+  sq_norms_ = t.sq_norms;
+  class_ids_ = t.class_ids;
+  row_ids_ = t.row_ids;
+  cluster_offsets_.resize(n_clusters_);
+  std::uint64_t off = 0;
+  for (std::size_t c = 0; c < n_clusters_; ++c) {
+    cluster_offsets_[c] = off;
+    off += cluster_rows_[c];
+  }
+  centroid_norms_.resize(n_clusters_);
+  for (std::size_t c = 0; c < n_clusters_; ++c)
+    centroid_norms_[c] = nn::squared_norm(centroids_ + c * dim_, dim_);
+
+  // Replay journal appends as tail cells; class ids continue the base id
+  // space in journal order, exactly like add_pinned() on a loaded store.
+  tails_.resize(n_clusters_);
+  std::unordered_map<int, int> label_to_id;
+  for (std::size_t id = 0; id < n_base_ids_; ++id)
+    label_to_id.emplace(id_to_label_[id], static_cast<int>(id));
+  scan_journal(
+      journal_path_of(path), dim_, n_clusters_,
+      [&](std::uint64_t cluster, int label, std::uint64_t row_id, double sq_norm,
+          const std::vector<float>& embedding) {
+        const auto [it, inserted] = label_to_id.try_emplace(
+            label, static_cast<int>(n_base_ids_ + extra_labels_.size()));
+        if (inserted) extra_labels_.push_back(label);
+        Tail& tail = tails_[cluster];
+        tail.data.insert(tail.data.end(), embedding.begin(), embedding.end());
+        tail.sq_norms.push_back(sq_norm);
+        tail.class_ids.push_back(it->second);
+        tail.row_ids.push_back(row_id);
+        ++journal_rows_;
+        ++size_;
+      },
+      [&](int) {
+        throw io::IoError("journal for " + path +
+                          " holds class removals; load in memory or run `wf index rebuild`");
+      });
+  metrics.journal_bytes->set(journal_size_or_zero(journal_path_of(path)));
+}
+
+core::ShardView MappedIndex::shard_view(std::size_t shard) const {
+  WF_CHECK(shard < 2 * n_clusters_, "MappedIndex::shard_view: shard out of range");
+  if (shard < n_clusters_) {
+    const std::uint64_t off = cluster_offsets_[shard];
+    return {data_ + off * dim_, sq_norms_ + off, class_ids_ + off, row_ids_ + off,
+            static_cast<std::size_t>(cluster_rows_[shard])};
+  }
+  const Tail& tail = tails_[shard - n_clusters_];
+  return {tail.data.data(), tail.sq_norms.data(), tail.class_ids.data(), tail.row_ids.data(),
+          tail.sq_norms.size()};
+}
+
+int MappedIndex::label_of_id(std::size_t id) const {
+  WF_CHECK(id < n_class_ids(), "MappedIndex::label_of_id: id out of range");
+  if (id < n_base_ids_) return id_to_label_[id];
+  return extra_labels_[id - n_base_ids_];
+}
+
+void MappedIndex::probe_shards(std::span<const float> query,
+                               std::vector<std::size_t>& out) const {
+  out.clear();
+  if (n_clusters_ == 0) return;
+  WF_CHECK(query.size() == dim_, "MappedIndex::probe_shards: query width mismatch");
+  const std::size_t n_probes = probes_ == 0 ? n_clusters_ : std::min(probes_, n_clusters_);
+  thread_local std::vector<std::size_t> picked;
+  picked.clear();
+  if (n_probes >= n_clusters_) {
+    for (std::size_t c = 0; c < n_clusters_; ++c) picked.push_back(c);
+  } else {
+    thread_local std::vector<float> dots;
+    thread_local std::vector<std::pair<double, std::size_t>> ranked;
+    dots.resize(n_clusters_);
+    nn::gemm_nt_serial(query.data(), 1, centroids_, n_clusters_, dim_, dots.data());
+    ranked.resize(n_clusters_);
+    for (std::size_t c = 0; c < n_clusters_; ++c)
+      ranked[c] = {centroid_norms_[c] - 2.0 * static_cast<double>(dots[c]), c};
+    // pair's lexicographic < breaks margin ties toward the lower cluster.
+    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(n_probes),
+                      ranked.end());
+    for (std::size_t p = 0; p < n_probes; ++p) picked.push_back(ranked[p].second);
+  }
+  // Each probed cluster scans its mapped base shard plus its journal tail:
+  // together they hold exactly the rows an in-memory replay would have
+  // merged into cell c, so rankings agree bit for bit.
+  std::uint64_t rows = 0;
+  for (const std::size_t c : picked) {
+    out.push_back(c);
+    rows += cluster_rows_[c];
+  }
+  for (const std::size_t c : picked) {
+    const Tail& tail = tails_[c];
+    if (!tail.sq_norms.empty()) {
+      out.push_back(n_clusters_ + c);
+      rows += tail.sq_norms.size();
+    }
+  }
+  probes_total_->inc();
+  clusters_scanned_->inc(picked.size());
+  rows_scanned_->inc(rows);
+}
+
+}  // namespace wf::index

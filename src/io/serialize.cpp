@@ -221,7 +221,8 @@ core::ShardedReferenceSet load_reference_set(Reader& in) {
   std::vector<int> id_to_label = in.i32_vec();
   std::vector<core::ShardedReferenceSet::ShardTables> shards(n_shards);
   for (auto& shard : shards) {
-    shard.data = in.f32_vec();
+    const std::vector<float> data = in.f32_vec();
+    shard.data.assign(data.begin(), data.end());
     shard.labels = in.i32_vec();
     shard.sq_norms = in.f64_vec();
     shard.class_ids = in.i32_vec();

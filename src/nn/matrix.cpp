@@ -2,25 +2,18 @@
 
 #include <stdexcept>
 
+#include "nn/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wf::nn {
 
 namespace {
 
-// Dot product with eight independent accumulator lanes. The lane structure
-// fixes the float summation order (so results are reproducible everywhere)
-// while letting the compiler vectorize the reduction.
-inline float dot_lanes(const float* a, const float* b, std::size_t k) {
-  float acc[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
-  const std::size_t k8 = k & ~static_cast<std::size_t>(7);
-  for (std::size_t i = 0; i < k8; i += 8)
-    for (std::size_t l = 0; l < 8; ++l) acc[l] += a[i + l] * b[i + l];
-  float tail = 0.0f;
-  for (std::size_t i = k8; i < k; ++i) tail += a[i] * b[i];
-  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) +
-         tail;
-}
+// The dot product behind every GEMM here lives in nn/simd.cpp: the scalar
+// kernel fixes the float summation order (eight independent lanes, pairwise
+// reduction) and the AVX2/NEON kernels replay the exact same operation
+// sequence, so WF_SIMD changes speed, never bits. Callers hoist the
+// dispatched pointer out of their loops via detail::active_dot_kernel().
 
 constexpr std::size_t kRowBlock = 32;   // rows of a per task
 constexpr std::size_t kColBlock = 128;  // rows of b kept hot in cache
@@ -33,12 +26,13 @@ util::ThreadPool& pool_or_global(util::ThreadPool* pool) {
 
 void gemm_nt_serial(const float* a, std::size_t m, const float* b, std::size_t n, std::size_t k,
                     float* dots) {
+  const detail::DotFn dot = detail::active_dot_kernel();
   for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
     const std::size_t j1 = j0 + kColBlock < n ? j0 + kColBlock : n;
     for (std::size_t i = 0; i < m; ++i) {
       const float* ai = a + i * k;
       float* out = dots + i * n;
-      for (std::size_t j = j0; j < j1; ++j) out[j] = dot_lanes(ai, b + j * k, k);
+      for (std::size_t j = j0; j < j1; ++j) out[j] = dot(ai, b + j * k, k);
     }
   }
 }
@@ -49,6 +43,7 @@ void matmul_transposed(const Matrix& a, const Matrix& b, Matrix& c, bool accumul
   if (b.cols() != k) throw std::invalid_argument("matmul_transposed: inner dim mismatch");
   if (c.rows() != m || c.cols() != n)
     throw std::invalid_argument("matmul_transposed: output shape mismatch");
+  const detail::DotFn dot = detail::active_dot_kernel();
   pool_or_global(pool).parallel_blocks(0, m, kRowBlock, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
       const std::size_t j1 = j0 + kColBlock < n ? j0 + kColBlock : n;
@@ -56,8 +51,8 @@ void matmul_transposed(const Matrix& a, const Matrix& b, Matrix& c, bool accumul
         const float* ai = a.data() + i * k;
         float* out = c.data() + i * n;
         for (std::size_t j = j0; j < j1; ++j) {
-          const float dot = dot_lanes(ai, b.data() + j * k, k);
-          out[j] = accumulate ? out[j] + dot : dot;
+          const float d = dot(ai, b.data() + j * k, k);
+          out[j] = accumulate ? out[j] + d : d;
         }
       }
     }

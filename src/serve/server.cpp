@@ -50,9 +50,14 @@ ServerInfo LocalHandler::info() const {
   info.slice_count = slice_count_;
   info.classes = attacker_->target_classes();
   if (adaptive_ != nullptr) {
-    info.n_references = adaptive_->references().size();
+    // Through store(): an attached index (wf serve --index) is what queries
+    // actually scan, so it is what HELO advertises.
+    const core::ReferenceStore& refs = adaptive_->store();
+    info.n_references = refs.size();
     info.knn_k = adaptive_->classifier().k();
-    info.id_to_label = adaptive_->references().id_to_label();
+    info.id_to_label.reserve(refs.n_class_ids());
+    for (std::size_t id = 0; id < refs.n_class_ids(); ++id)
+      info.id_to_label.push_back(refs.label_of_id(id));
   }
   return info;
 }
@@ -60,7 +65,7 @@ ServerInfo LocalHandler::info() const {
 RankReply LocalHandler::rank(const nn::Matrix& queries) {
   RankReply reply;
   reply.rankings = attacker_->fingerprint_batch(matrix_to_dataset(queries));
-  const std::uint64_t refs = adaptive_ != nullptr ? adaptive_->references().size() : 0;
+  const std::uint64_t refs = adaptive_ != nullptr ? adaptive_->store().size() : 0;
   reply.meta = {false, refs, refs};
   return reply;
 }

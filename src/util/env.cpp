@@ -21,6 +21,7 @@ struct Overrides {
   std::optional<std::size_t> serve_timeout_ms;
   std::optional<bool> obs;
   std::optional<std::string> log_level;
+  std::optional<std::string> simd;
   std::mutex mutex;
 };
 
@@ -125,6 +126,27 @@ std::string Env::log_level() {
   return value;
 }
 
+std::string Env::simd() {
+  std::string value;
+  {
+    std::lock_guard<std::mutex> lock(overrides().mutex);
+    if (overrides().simd) value = *overrides().simd;
+  }
+  if (value.empty()) {
+    const char* env = std::getenv("WF_SIMD");
+    if (env != nullptr) value = env;
+  }
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (value.empty()) return "auto";
+  return value;
+}
+
+void Env::override_simd(std::string mode) {
+  std::lock_guard<std::mutex> lock(overrides().mutex);
+  overrides().simd = std::move(mode);
+}
+
 void Env::override_obs(bool obs) {
   std::lock_guard<std::mutex> lock(overrides().mutex);
   overrides().obs = obs;
@@ -169,7 +191,7 @@ void Env::log_effective() {
              << (threads == 0 ? "auto" : std::to_string(threads)) << " shards="
              << (shards == 0 ? "auto" : std::to_string(shards)) << " results_dir="
              << results_dir() << " obs=" << (obs() ? "on" : "off") << " log_level="
-             << log_level();
+             << log_level() << " simd=" << simd();
 }
 
 }  // namespace wf::util

@@ -1,0 +1,316 @@
+// wf::index invariants: the IVF-pruned scan at P = C is bit-identical to
+// the exact sharded scan (rankings AND open-world kth distances) for
+// several cluster counts; the seeded k-means is deterministic and depends
+// only on content, not on how the base store was sharded; recall@10 at a
+// pinned (C, P) clears 0.95; an index written to disk and reopened (mmap
+// base, journal tails, full reload, rebuild) answers bit-identically to the
+// in-memory store mutated the same way; every supported SIMD mode agrees
+// with scalar; and the aligned allocation the kernels rely on really is
+// 64-byte aligned.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "core/knn.hpp"
+#include "core/openworld.hpp"
+#include "core/sharded_reference_set.hpp"
+#include "index/ivf.hpp"
+#include "index/store.hpp"
+#include "nn/matrix.hpp"
+#include "nn/simd.hpp"
+#include "test_common.hpp"
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wf;
+
+static_assert(util::kSimdAlignment == 64, "SIMD tiles assume 64-byte rows");
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<float> random_point(util::Rng& rng, std::size_t dim, double spread = 1.0) {
+  std::vector<float> v(dim);
+  for (float& x : v) x = static_cast<float>(rng.normal(0.0, spread));
+  return v;
+}
+
+struct Row {
+  std::vector<float> embedding;
+  int label;
+};
+
+// Clustered rows with deliberate exact duplicates, so distance ties
+// exercise the (dist, insertion-id) tie-break across cluster boundaries.
+std::vector<Row> make_rows(util::Rng& rng, std::size_t dim, int n_classes, int per_class) {
+  std::vector<Row> rows;
+  for (int c = 0; c < n_classes; ++c) {
+    const std::vector<float> center = random_point(rng, dim);
+    for (int s = 0; s < per_class; ++s) {
+      std::vector<float> e = center;
+      if (s % 4 != 0)
+        for (float& x : e) x += static_cast<float>(rng.normal(0.0, 0.15));
+      rows.push_back({e, 700 + c});
+    }
+  }
+  return rows;
+}
+
+void check_rankings_identical(const std::vector<std::vector<core::RankedLabel>>& a,
+                              const std::vector<std::vector<core::RankedLabel>>& b) {
+  CHECK(a.size() == b.size());
+  for (std::size_t q = 0; q < a.size() && q < b.size(); ++q) {
+    CHECK(a[q].size() == b[q].size());
+    for (std::size_t i = 0; i < a[q].size() && i < b[q].size(); ++i) {
+      CHECK(a[q][i].label == b[q][i].label);
+      CHECK(a[q][i].votes == b[q][i].votes);
+      CHECK(a[q][i].distance == b[q][i].distance);  // bit-identical, no tolerance
+    }
+  }
+}
+
+// Each query's 10 nearest row ids, via a single-slice scan (every shard's
+// k-best candidates, globally sorted).
+std::vector<std::vector<std::uint64_t>> top10_rows(const core::KnnClassifier& knn,
+                                                   const core::ReferenceStore& store,
+                                                   const nn::Matrix& queries) {
+  const core::SliceScan scan = knn.scan_slice(store, queries, 0, 1);
+  std::vector<std::vector<std::uint64_t>> top(scan.candidates.size());
+  for (std::size_t q = 0; q < scan.candidates.size(); ++q) {
+    std::vector<core::Candidate> candidates = scan.candidates[q];
+    std::sort(candidates.begin(), candidates.end());
+    const std::size_t n = std::min<std::size_t>(10, candidates.size());
+    for (std::size_t i = 0; i < n; ++i)
+      top[q].push_back(candidates[i].second >> core::kCandidateClassBits);
+  }
+  return top;
+}
+
+bool is_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % util::kSimdAlignment == 0;
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(515);
+  const std::size_t dim = 16;
+  const std::vector<Row> rows = make_rows(rng, dim, 12, 12);
+
+  core::ShardedReferenceSet flat(dim, 3);
+  for (const Row& row : rows) flat.add(row.embedding, row.label);
+
+  nn::Matrix queries(24, dim);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    std::vector<float> point = rows[(q * 7) % rows.size()].embedding;
+    for (float& x : point) x += static_cast<float>(rng.normal(0.0, 0.2));
+    queries.set_row(q, point);
+  }
+
+  const core::KnnClassifier knn(15);
+  const core::OpenWorldDetector detector{core::OpenWorldConfig{}};
+  const auto exact_rankings = knn.rank_batch(flat, queries);
+  const std::vector<double> exact_kth = detector.kth_distances(flat, queries);
+
+  // --- 64-byte alignment of the tiles every SIMD kernel loads ---------------
+  {
+    util::AlignedVector<float> v(193);
+    CHECK(is_aligned(v.data()));
+    const nn::Matrix m(5, 37);
+    CHECK(is_aligned(m.data()));
+    for (std::size_t c = 0; c < flat.shard_count(); ++c)
+      CHECK(is_aligned(flat.shard_view(c).data));
+  }
+
+  // --- P = C reproduces the exact scan bit for bit, at several C ------------
+  for (const std::size_t clusters : {std::size_t{1}, std::size_t{4}, std::size_t{9}}) {
+    index::IvfConfig config;
+    config.clusters = clusters;
+    config.probes = 0;  // all clusters
+    const index::IvfReferenceStore ivf(flat, config);
+    CHECK(ivf.clusters() == clusters);
+    CHECK(ivf.size() == flat.size());
+    CHECK(ivf.pruned());
+    CHECK(ivf.classes() == flat.classes());
+    for (std::size_t c = 0; c < ivf.clusters(); ++c)
+      CHECK(is_aligned(ivf.cell(c).data.data()));
+    check_rankings_identical(exact_rankings, knn.rank_batch(ivf, queries));
+    const std::vector<double> ivf_kth = detector.kth_distances(ivf, queries);
+    CHECK(ivf_kth.size() == exact_kth.size());
+    for (std::size_t q = 0; q < exact_kth.size(); ++q) CHECK(ivf_kth[q] == exact_kth[q]);
+    // The scalar path goes through the same probe plan.
+    const auto scalar = knn.rank(ivf, queries.row_span(0));
+    CHECK(!scalar.empty() && scalar.front().label == exact_rankings[0].front().label);
+    CHECK(scalar.front().distance == exact_rankings[0].front().distance);
+  }
+
+  // --- seeded k-means: deterministic, and a function of content only -------
+  {
+    index::IvfConfig config;
+    config.clusters = 5;
+    const index::IvfReferenceStore a(flat, config);
+    const index::IvfReferenceStore b(flat, config);
+    CHECK(a.centroids().size() == b.centroids().size());
+    for (std::size_t i = 0; i < a.centroids().size(); ++i)
+      CHECK(a.centroids()[i] == b.centroids()[i]);
+
+    // Same rows in the same insertion order, different base sharding: the
+    // build gathers by global row id, so the result is identical.
+    core::ShardedReferenceSet reshard(dim, 7);
+    for (const Row& row : rows) reshard.add(row.embedding, row.label);
+    const index::IvfReferenceStore c(reshard, config);
+    for (std::size_t i = 0; i < a.centroids().size(); ++i)
+      CHECK(a.centroids()[i] == c.centroids()[i]);
+    for (std::size_t cell = 0; cell < a.clusters(); ++cell)
+      CHECK(a.cell(cell).row_ids == c.cell(cell).row_ids);
+    config.probes = 2;
+    index::IvfReferenceStore pruned_a(flat, config);
+    index::IvfReferenceStore pruned_c(reshard, config);
+    check_rankings_identical(knn.rank_batch(pruned_a, queries),
+                             knn.rank_batch(pruned_c, queries));
+  }
+
+  // --- recall@10 at a pinned (C, P) -----------------------------------------
+  {
+    util::Rng corpus_rng(9102);
+    const std::vector<Row> big = make_rows(corpus_rng, dim, 40, 50);  // 2000 rows
+    core::ShardedReferenceSet base(dim, 2);
+    for (const Row& row : big) base.add(row.embedding, row.label);
+    nn::Matrix probes(50, dim);
+    for (std::size_t q = 0; q < probes.rows(); ++q) {
+      std::vector<float> point = big[(q * 37) % big.size()].embedding;
+      for (float& x : point) x += static_cast<float>(corpus_rng.normal(0.0, 0.2));
+      probes.set_row(q, point);
+    }
+    index::IvfConfig config;
+    config.clusters = 32;
+    config.probes = 8;
+    const index::IvfReferenceStore ivf(base, config);
+    CHECK(ivf.effective_probes() == 8);
+    const auto want = top10_rows(knn, base, probes);
+    const auto got = top10_rows(knn, ivf, probes);
+    double sum = 0.0;
+    for (std::size_t q = 0; q < want.size(); ++q) {
+      std::vector<std::uint64_t> w = want[q], g = got[q];
+      std::sort(w.begin(), w.end());
+      std::sort(g.begin(), g.end());
+      std::vector<std::uint64_t> common;
+      std::set_intersection(w.begin(), w.end(), g.begin(), g.end(),
+                            std::back_inserter(common));
+      sum += static_cast<double>(common.size()) / static_cast<double>(w.size());
+    }
+    const double recall = sum / static_cast<double>(want.size());
+    CHECK(recall >= 0.95);
+  }
+
+  // --- on-disk round trip: mmap open answers bit-identically ----------------
+  const std::string path = temp_path("wf_test_index.wfx");
+  index::IvfConfig disk_config;
+  disk_config.clusters = 6;
+  index::IvfReferenceStore mem(flat, disk_config);
+  {
+    index::write_index_file(path, mem);
+    const std::unique_ptr<core::ReferenceStore> mapped = index::open_index(path);
+    CHECK(mapped->size() == mem.size());
+    CHECK(mapped->dim() == mem.dim());
+    CHECK(mapped->pruned());
+    check_rankings_identical(knn.rank_batch(mem, queries), knn.rank_batch(*mapped, queries));
+    check_rankings_identical(exact_rankings, knn.rank_batch(*mapped, queries));
+
+    // Pruned probes match the in-memory pruned scan, query by query.
+    const std::unique_ptr<core::ReferenceStore> mapped2 = index::open_index(path, 2);
+    index::IvfReferenceStore mem2 = mem;
+    mem2.set_probes(2);
+    check_rankings_identical(knn.rank_batch(mem2, queries), knn.rank_batch(*mapped2, queries));
+
+    // The info reader sees the same shape without touching the data.
+    const index::IndexInfo info = index::read_index_info(path);
+    CHECK(info.dim == dim);
+    CHECK(info.clusters == 6);
+    CHECK(info.rows == mem.size());
+    CHECK(info.journal_bytes == 0);
+  }
+
+  // --- journal appends: mapped tails == in-memory adds ----------------------
+  {
+    index::IvfReferenceStore churned = mem;
+    index::IndexJournalWriter journal(path);
+    util::Rng fresh(77);
+    for (int i = 0; i < 9; ++i) {
+      const std::vector<float> e = random_point(fresh, dim);
+      const int label = (i < 3) ? 990 : rows[static_cast<std::size_t>(i)].label;
+      churned.add(e, label);
+      journal.add(e, label);
+    }
+    CHECK(std::filesystem::exists(journal.journal_path()));
+    const std::unique_ptr<core::ReferenceStore> mapped = index::open_index(path);
+    CHECK(mapped->size() == churned.size());
+    check_rankings_identical(knn.rank_batch(churned, queries), knn.rank_batch(*mapped, queries));
+    const index::IndexInfo info = index::read_index_info(path);
+    CHECK(info.journal_adds == 9);
+    CHECK(info.journal_bytes > 0);
+
+    // A removal cannot be masked onto the mapping: open falls back to a full
+    // load and still answers exactly like the in-memory store.
+    journal.remove_class(700);
+    churned.remove_class(700);
+    const std::unique_ptr<core::ReferenceStore> reloaded = index::open_index(path);
+    CHECK(reloaded->size() == churned.size());
+    check_rankings_identical(knn.rank_batch(churned, queries),
+                             knn.rank_batch(*reloaded, queries));
+
+    // Compaction: rebuild the file, journal gone, answers == in-memory
+    // rebuild of the identically-churned store.
+    const std::size_t compacted = index::rebuild_index_file(path);
+    CHECK(compacted == churned.size());
+    CHECK(!std::filesystem::exists(journal.journal_path()));
+    churned.rebuild();
+    const std::unique_ptr<core::ReferenceStore> rebuilt = index::open_index(path);
+    check_rankings_identical(knn.rank_batch(churned, queries),
+                             knn.rank_batch(*rebuilt, queries));
+  }
+
+  // --- churn accounting drives maybe_rebuild --------------------------------
+  {
+    index::IvfConfig config;
+    config.clusters = 4;
+    config.rebuild_churn = 0.25;
+    index::IvfReferenceStore store(flat, config);
+    CHECK(store.churn() == 0);
+    CHECK(!store.maybe_rebuild());
+    util::Rng fresh(31);
+    const std::size_t threshold = flat.size() / 4;
+    for (std::size_t i = 0; i <= threshold; ++i) store.add(random_point(fresh, dim), 701);
+    CHECK(store.churn() > threshold);
+    CHECK(store.maybe_rebuild());
+    CHECK(store.churn() == 0);
+    CHECK(!store.maybe_rebuild());
+  }
+
+  // --- every supported SIMD mode agrees with scalar -------------------------
+  {
+    const nn::SimdMode previous = nn::simd_mode();
+    util::Rng vec_rng(41);
+    const std::vector<float> a = random_point(vec_rng, 259);
+    const std::vector<float> b = random_point(vec_rng, 259);
+    const float scalar_dot = nn::detail::dot_kernel(nn::SimdMode::kScalar)(a.data(), b.data(),
+                                                                           a.size());
+    for (const nn::SimdMode mode : nn::supported_simd_modes()) {
+      const float mode_dot = nn::detail::dot_kernel(mode)(a.data(), b.data(), a.size());
+      CHECK_NEAR(mode_dot, scalar_dot, 1e-6);
+      CHECK(mode_dot == scalar_dot);  // same operation order: bit-identical
+      CHECK(nn::set_simd_mode(mode));
+      check_rankings_identical(exact_rankings, knn.rank_batch(flat, queries));
+      check_rankings_identical(exact_rankings, knn.rank_batch(mem, queries));
+    }
+    nn::set_simd_mode(previous);
+  }
+
+  std::filesystem::remove(path);
+  return TEST_MAIN_RESULT();
+}

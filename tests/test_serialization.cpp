@@ -13,6 +13,8 @@
 #include "core/openworld.hpp"
 #include "data/build.hpp"
 #include "data/splits.hpp"
+#include "index/ivf.hpp"
+#include "index/store.hpp"
 #include "io/serialize.hpp"
 #include "netsim/browser.hpp"
 #include "test_common.hpp"
@@ -278,6 +280,85 @@ int main() {
       });
     }
     CHECK(throws_io_error([&] { io::load_attacker(path); }));
+    std::remove(path.c_str());
+  }
+
+  // --- IVF index file (wf::index base-store format) ------------------------
+  {
+    const std::string path = temp_path("wf_test_index_roundtrip.wfx");
+    index::IvfConfig ivf_config;
+    ivf_config.clusters = 4;
+    const index::IvfReferenceStore built(attacker.references(), ivf_config);
+    index::write_index_file(path, built);
+
+    // Load -> write again: a lossless format is byte-stable under a round
+    // trip, which pins every table (ids, norms, centroids) bit for bit.
+    const index::IvfReferenceStore loaded = index::load_index(path);
+    CHECK(loaded.size() == built.size());
+    CHECK(loaded.clusters() == built.clusters());
+    CHECK(loaded.next_row_id() == built.next_row_id());
+    const std::string rewritten = temp_path("wf_test_index_rewrite.wfx");
+    index::write_index_file(rewritten, loaded);
+    CHECK(read_file(path) == read_file(rewritten));
+    std::remove(rewritten.c_str());
+
+    const std::string valid_index = read_file(path);
+    CHECK(valid_index.size() > 104);
+
+    // Bad magic.
+    {
+      std::string bytes = valid_index;
+      bytes[0] = 'X';
+      write_file(path, bytes);
+      CHECK(throws_io_error([&] { index::load_index(path); }));
+      CHECK(throws_io_error([&] { index::open_index(path); }));
+      CHECK(throws_io_error([&] { index::read_index_info(path); }));
+    }
+
+    // Future format version: the error must name the version.
+    {
+      std::string bytes = valid_index;
+      bytes[4] = 99;
+      write_file(path, bytes);
+      bool version_named = false;
+      try {
+        index::load_index(path);
+      } catch (const io::IoError& e) {
+        version_named = std::string(e.what()).find("version 99") != std::string::npos;
+      }
+      CHECK(version_named);
+    }
+
+    // Future index layout version (the u32 after the "IVFX" kind tag).
+    {
+      std::string bytes = valid_index;
+      bytes[12] = 99;
+      write_file(path, bytes);
+      CHECK(throws_io_error([&] { index::open_index(path); }));
+    }
+
+    // Wrong kind: an attacker file is not an index, and an index file is
+    // not an attacker.
+    CHECK(throws_io_error([&] { index::load_index(model_path); }));
+    write_file(path, valid_index);
+    CHECK(throws_io_error([&] { io::load_attacker(path); }));
+
+    // Truncation at several depths: header, tables, and one byte short.
+    for (const std::size_t keep :
+         {std::size_t{6}, std::size_t{60}, valid_index.size() / 2, valid_index.size() - 1}) {
+      write_file(path, valid_index.substr(0, keep));
+      CHECK(throws_io_error([&] { index::load_index(path); }));
+      CHECK(throws_io_error([&] { index::open_index(path); }));
+    }
+
+    // A corrupt journal poisons the open the same way.
+    {
+      write_file(path, valid_index);
+      write_file(path + ".journal", "WFIOgarbage");
+      CHECK(throws_io_error([&] { index::open_index(path); }));
+      std::remove((path + ".journal").c_str());
+    }
+
     std::remove(path.c_str());
   }
 

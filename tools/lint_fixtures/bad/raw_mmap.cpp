@@ -1,0 +1,22 @@
+// Seeded violation: ad-hoc memory mapping. A raw mmap/munmap pair scattered
+// through a loader leaks the mapping on every early return and error path,
+// and hand-rolled msync/madvise calls hide the lifetime from review; all
+// mapping flows through the io::MappedFile RAII wrapper (src/io/mmap.cpp).
+// wf-lint-path: src/index/loader.cpp
+// wf-lint-expect: mmap-discipline
+#include <cstddef>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+const float* map_embeddings(const char* path, std::size_t bytes) {
+  const int fd = ::open(path, O_RDONLY);
+  if (fd < 0) return nullptr;
+  void* base = ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) return nullptr;
+  ::madvise(base, bytes, MADV_WILLNEED);
+  return static_cast<const float*>(base);  // leaked: nobody munmap()s this
+}
+
+void unmap_embeddings(void* base, std::size_t bytes) { ::munmap(base, bytes); }

@@ -1,0 +1,31 @@
+// Clean: this file declares itself as src/io/mmap.cpp, the one blessed home
+// of raw memory-mapping calls — the io::MappedFile RAII wrapper that the
+// mmap-discipline rule points everyone else at. Identical calls anywhere
+// else in the tree are findings (see bad/raw_mmap.cpp).
+// wf-lint-path: src/io/mmap.cpp
+#include <cstddef>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+struct MappedFile {
+  void* base = nullptr;
+  std::size_t bytes = 0;
+
+  bool open(const char* path, std::size_t n) {
+    const int fd = ::open(path, O_RDONLY);
+    if (fd < 0) return false;
+    base = ::mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+      base = nullptr;
+      return false;
+    }
+    bytes = n;
+    return true;
+  }
+
+  ~MappedFile() {
+    if (base != nullptr) ::munmap(base, bytes);
+  }
+};

@@ -11,6 +11,8 @@
 //                       (serialization, CSV, wire frames)
 //   socket-deadline     raw blocking socket calls live only in
 //                       src/serve/net.cpp, behind Deadline-aware wrappers
+//   mmap-discipline     raw memory-mapping calls (mmap, munmap, msync, ...)
+//                       live only in src/io/mmap.cpp, behind io::MappedFile
 //   retry-policy        every sleep-paced loop runs on serve::Backoff /
 //                       RetryPolicy, never an ad-hoc spin
 //   clock-discipline    monotonic-clock reads live only in util::Stopwatch,
@@ -74,6 +76,7 @@ const std::vector<RuleInfo> kRules = {
     {"wall-clock", "wall-clock reads (time(), system_clock, gettimeofday) break determinism"},
     {"unordered-iteration", "unordered-container iteration in a serialization/CSV/wire path"},
     {"socket-deadline", "raw blocking socket call outside the Deadline wrappers in serve/net.cpp"},
+    {"mmap-discipline", "raw memory-mapping call outside the io::MappedFile wrapper in io/mmap.cpp"},
     {"retry-policy", "sleep-paced loop without serve::Backoff/RetryPolicy pacing"},
     {"clock-discipline",
      "raw monotonic-clock read outside util::Stopwatch, serve::Deadline and wf::obs"},
@@ -293,6 +296,17 @@ void rule_socket_deadline(const SourceFile& f, std::vector<Finding>& findings) {
               findings);
 }
 
+// --- mmap-discipline --------------------------------------------------------
+
+void rule_mmap_discipline(const SourceFile& f, std::vector<Finding>& findings) {
+  if (path_contains(f.display_path, "io/mmap.cpp")) return;  // the RAII wrapper itself
+  static const std::regex re(R"((^|[^\w])(mmap|mmap64|munmap|msync|madvise|mremap)\s*\()");
+  match_lines(f, re, "mmap-discipline",
+              "raw memory-mapping calls live in src/io/mmap.cpp only, behind the "
+              "io::MappedFile RAII wrapper (unmap-on-destroy, error checking in one place)",
+              findings);
+}
+
 // --- retry-policy -----------------------------------------------------------
 
 void rule_retry_policy(const SourceFile& f, std::vector<Finding>& findings) {
@@ -416,6 +430,7 @@ std::vector<Finding> lint_file(const SourceFile& f) {
   rule_wall_clock(f, findings);
   rule_unordered_iteration(f, findings);
   rule_socket_deadline(f, findings);
+  rule_mmap_discipline(f, findings);
   rule_retry_policy(f, findings);
   rule_clock_discipline(f, findings);
   rule_swallowed_error(f, findings);
